@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Ablations beyond the paper: design choices DESIGN.md calls out.
+ *
+ *  - write-buffer depth sweep (the paper fixes 4x4W / 8x1W);
+ *  - streamed-drain latency overlap on/off (Section 6 assumes a
+ *    stream of writes overlaps one or both latency cycles);
+ *  - page colouring vs random placement (Section 2 relies on
+ *    colouring for consistent virtual/physical indexing);
+ *  - TLB miss penalty sensitivity (the paper folds translation into
+ *    the base machine; what if it could not?).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/config.hh"
+
+int
+main()
+{
+    using namespace gaas;
+    bench::banner("Ablations", "write buffer depth, drain overlap, "
+                               "page colouring, TLB penalty");
+
+    {
+        stats::Table t({"WB depth", "CPI", "WB-wait CPI",
+                        "full-stall pushes"});
+        t.setTitle("Write-buffer depth (write-only policy, 1W "
+                   "entries)");
+        for (unsigned depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            auto cfg = core::afterWritePolicy();
+            cfg.wbDepth = depth;
+            const auto res = bench::run(cfg);
+            t.newRow()
+                .cell(static_cast<std::uint64_t>(depth))
+                .cell(res.cpi(), 4)
+                .cell(res.perInstruction(res.comp.wbWait), 4)
+                .cell(res.sys.wb.fullStalls);
+        }
+        bench::emit(t, "ablation_wb_depth");
+    }
+
+    {
+        stats::Table t({"drain overlap (cycles)", "CPI",
+                        "WB-wait CPI"});
+        t.setTitle("Streamed-drain latency overlap (write-only "
+                   "policy, 6-cycle L2)");
+        for (Cycles overlap : {0u, 1u, 2u, 3u}) {
+            auto cfg = core::afterWritePolicy();
+            cfg.wbStreamOverlap = overlap;
+            const auto res = bench::run(cfg);
+            t.newRow()
+                .cell(static_cast<std::uint64_t>(overlap))
+                .cell(res.cpi(), 4)
+                .cell(res.perInstruction(res.comp.wbWait), 4);
+        }
+        bench::emit(t, "ablation_drain_overlap");
+    }
+
+    {
+        stats::Table t({"placement", "CPI", "L1-D miss/instr",
+                        "L2 miss ratio"});
+        t.setTitle("Page colouring vs random page placement "
+                   "(base architecture)");
+        for (bool coloring : {true, false}) {
+            auto cfg = core::baseline();
+            cfg.mmu.pageTable.coloring = coloring;
+            const auto res = bench::run(cfg);
+            t.newRow()
+                .cell(coloring ? "page colouring" : "random")
+                .cell(res.cpi(), 4)
+                .cell(static_cast<double>(res.sys.l1dReadMisses +
+                                          res.sys.l1dWriteMisses) /
+                          static_cast<double>(res.instructions),
+                      4)
+                .cell(res.sys.l2MissRatio(), 4);
+        }
+        bench::emit(t, "ablation_page_coloring");
+    }
+
+    {
+        stats::Table t({"TLB miss penalty (cycles)", "CPI",
+                        "ITLB miss ratio", "DTLB miss ratio"});
+        t.setTitle("TLB miss penalty sensitivity (base "
+                   "architecture)");
+        for (Cycles penalty : {0u, 10u, 20u, 40u}) {
+            auto cfg = core::baseline();
+            cfg.mmu.tlbMissPenalty = penalty;
+            const auto res = bench::run(cfg);
+            t.newRow()
+                .cell(static_cast<std::uint64_t>(penalty))
+                .cell(res.cpi(), 4)
+                .cell(res.sys.itlb.missRatio(), 5)
+                .cell(res.sys.dtlb.missRatio(), 5);
+        }
+        bench::emit(t, "ablation_tlb_penalty");
+    }
+
+    {
+        // Section 6's closing remark: "the L2 access time at which
+        // a write-back policy becomes the better choice grows with
+        // L1 cache size because larger L1 caches have fewer read
+        // and write misses."
+        stats::Table t({"L1 size", "policy", "CPI @6cy",
+                        "CPI @10cy", "CPI @14cy"});
+        t.setTitle("Write-policy trade-off vs L1 size (the "
+                   "crossover access time grows with L1)");
+        for (std::uint64_t l1 : {2u * 1024, 4u * 1024, 8u * 1024}) {
+            for (auto policy : {core::WritePolicy::WriteBack,
+                                core::WritePolicy::WriteOnly}) {
+                t.newRow()
+                    .cell(std::to_string(l1 / 1024) + "KW")
+                    .cell(core::writePolicyName(policy));
+                for (Cycles access : {6u, 10u, 14u}) {
+                    auto cfg = core::withWritePolicy(
+                        core::baseline(), policy);
+                    cfg.l1i.sizeWords = cfg.l1d.sizeWords = l1;
+                    cfg.l2.accessTime = access;
+                    const auto res = bench::run(cfg);
+                    t.cell(res.cpi(), 4);
+                }
+            }
+        }
+        bench::emit(t, "ablation_writepolicy_l1size");
+    }
+
+    std::cout << "done\n";
+    return 0;
+}

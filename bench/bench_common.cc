@@ -1,0 +1,93 @@
+#include "bench_common.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace gaas::bench
+{
+
+namespace
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    char *end = nullptr;
+    const std::uint64_t parsed = std::strtoull(value, &end, 10);
+    if (end == value || parsed == 0) {
+        std::cerr << "warn: ignoring bad " << name << "=" << value
+                  << '\n';
+        return fallback;
+    }
+    return parsed;
+}
+
+std::string
+csvDir()
+{
+    const char *dir = std::getenv("GAAS_BENCH_CSV_DIR");
+    return dir && *dir ? dir : "bench_out";
+}
+
+} // namespace
+
+Count
+instructionBudget()
+{
+    return envU64("GAAS_BENCH_INSTRUCTIONS", 4'000'000);
+}
+
+unsigned
+mpLevel()
+{
+    return static_cast<unsigned>(envU64("GAAS_BENCH_MP", 8));
+}
+
+core::SimResult
+run(const core::SystemConfig &config)
+{
+    return run(config, mpLevel());
+}
+
+Count
+warmupBudget()
+{
+    return envU64("GAAS_BENCH_WARMUP", instructionBudget() / 2);
+}
+
+core::SimResult
+run(const core::SystemConfig &config, unsigned mp_level)
+{
+    return core::runStandard(config, instructionBudget(), mp_level,
+                             warmupBudget());
+}
+
+core::SimResult
+runScaled(const core::SystemConfig &config, unsigned factor)
+{
+    return core::runStandard(config, instructionBudget() * factor,
+                             mpLevel(), warmupBudget() * factor);
+}
+
+void
+emit(const stats::Table &table, const std::string &name)
+{
+    table.print(std::cout);
+    const std::string path = csvDir() + "/" + name + ".csv";
+    if (table.writeCsv(path))
+        std::cout << "[csv: " << path << "]\n";
+    std::cout << '\n';
+}
+
+void
+banner(const std::string &figure, const std::string &caption)
+{
+    std::cout << "=== " << figure << ": " << caption << " ===\n"
+              << "workload: MP level " << mpLevel() << ", "
+              << instructionBudget() << " instructions per point\n\n";
+}
+
+} // namespace gaas::bench

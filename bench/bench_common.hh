@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table bench binaries: instruction
+ * budgets (overridable via environment), timed simulation runs, and
+ * CSV output placement.
+ *
+ * Environment knobs:
+ *   GAAS_BENCH_INSTRUCTIONS  per-configuration instruction budget
+ *                            (default 4,000,000; L2-size sweeps
+ *                            scale it up further -- see runScaled)
+ *   GAAS_BENCH_MP            multiprogramming level (default 8)
+ *   GAAS_BENCH_CSV_DIR       where CSVs are written
+ *                            (default ./bench_out)
+ */
+
+#ifndef GAAS_BENCH_COMMON_HH
+#define GAAS_BENCH_COMMON_HH
+
+#include <string>
+
+#include "core/config.hh"
+#include "core/simulator.hh"
+#include "stats/table.hh"
+#include "util/types.hh"
+
+namespace gaas::bench
+{
+
+/** Per-configuration instruction budget. */
+Count instructionBudget();
+
+/** Warmup instructions before measurement (GAAS_BENCH_WARMUP,
+ *  default half the measurement budget). */
+Count warmupBudget();
+
+/** Multiprogramming level for workload construction. */
+unsigned mpLevel();
+
+/** Run @p config on the standard workload for the budget. */
+core::SimResult run(const core::SystemConfig &config);
+
+/** Run @p config at an explicit multiprogramming level. */
+core::SimResult run(const core::SystemConfig &config,
+                    unsigned mp_level);
+
+/**
+ * Run with the budget scaled by @p factor.  The L2-sweep figures
+ * (6, 7, 8 / Table 2) need several-times-longer traces than the CPI
+ * ladders: short windows overstate large-cache miss ratios with
+ * unamortised first-touch misses (the [BKW90] long-trace effect the
+ * paper discusses in Section 3).
+ */
+core::SimResult runScaled(const core::SystemConfig &config,
+                          unsigned factor);
+
+/** Print @p table to stdout and write bench_out/<name>.csv. */
+void emit(const stats::Table &table, const std::string &name);
+
+/** Standard banner: figure id + paper caption + knob values. */
+void banner(const std::string &figure, const std::string &caption);
+
+} // namespace gaas::bench
+
+#endif // GAAS_BENCH_COMMON_HH

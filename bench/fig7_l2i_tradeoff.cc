@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 7: the L2-I speed-size trade-off (4KW L1-I).
+ *
+ * With a split L2, the L2-I size is swept over 8KW..512KW for access
+ * times of 1..9 cycles; the y-axis is the instruction side's
+ * contribution to CPI (L1-I miss service + L2-I miss penalties).
+ * The paper's curves run from ~0.19 CPI down to ~0.02 and are fairly
+ * flat beyond 64KW -- instruction working sets are modest, so a
+ * small-but-fast L2-I beats a big-but-slow one.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/config.hh"
+
+int
+main()
+{
+    using namespace gaas;
+    bench::banner("Fig. 7", "L2-I speed-size trade-off (CPI "
+                            "contribution of the instruction side)");
+
+    std::vector<std::string> headers = {"L2-I size"};
+    for (unsigned at = 1; at <= 9; ++at)
+        headers.push_back(std::to_string(at) + "cy");
+    stats::Table t(std::move(headers));
+    t.setTitle("Instruction-side CPI contribution "
+               "(paper: 0.19 .. 0.02, flat beyond 64KW)");
+
+    double best_small_fast = 1e9, best_large_slow = 1e9;
+    for (std::uint64_t size = 8 * 1024; size <= 512 * 1024;
+         size *= 2) {
+        t.newRow().cell(std::to_string(size / 1024) + "K");
+        for (unsigned at = 1; at <= 9; ++at) {
+            auto cfg = core::afterSplitL2();
+            cfg.l2i.cache.sizeWords = size;
+            cfg.l2i.accessTime = at;
+            const auto res = bench::runScaled(cfg, 3);
+            const double contrib = res.perInstruction(
+                res.comp.l1iMiss + res.comp.l2iMiss);
+            t.cell(contrib, 4);
+            if (size == 32 * 1024 && at == 2)
+                best_small_fast = contrib;
+            if (size == 512 * 1024 && at == 6)
+                best_large_slow = contrib;
+        }
+    }
+    bench::emit(t, "fig7_l2i_tradeoff");
+
+    std::cout << "32KW @2 cycles: " << best_small_fast
+              << " CPI vs 512KW @6 cycles: " << best_large_slow
+              << " (paper: the small fast L2-I on the MCM wins)\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 8: the L2-D speed-size trade-off (4KW L1-D).
+ *
+ * The mirror of Fig. 7 on the data side, with the effect of writes
+ * ignored to simplify the comparison.  The paper's curves run from
+ * ~0.72 CPI down to ~0.06 and are *still decreasing at 512KW*: data
+ * working sets are much larger, so the optimum L2-D is roughly 8x
+ * the optimum L2-I and belongs off the MCM in dense (slower)
+ * technology.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/config.hh"
+
+int
+main()
+{
+    using namespace gaas;
+    bench::banner("Fig. 8", "L2-D speed-size trade-off (CPI "
+                            "contribution of the data side, writes "
+                            "ignored)");
+
+    std::vector<std::string> headers = {"L2-D size"};
+    for (unsigned at = 1; at <= 9; ++at)
+        headers.push_back(std::to_string(at) + "cy");
+    stats::Table t(std::move(headers));
+    t.setTitle("Data-side CPI contribution "
+               "(paper: 0.72 .. 0.06, still falling at 512KW)");
+
+    std::vector<double> at6_curve;
+    for (std::uint64_t size = 8 * 1024; size <= 512 * 1024;
+         size *= 2) {
+        t.newRow().cell(std::to_string(size / 1024) + "K");
+        for (unsigned at = 1; at <= 9; ++at) {
+            auto cfg = core::afterSplitL2();
+            cfg.l2d.cache.sizeWords = size;
+            cfg.l2d.accessTime = at;
+            const auto res = bench::runScaled(cfg, 3);
+            const double contrib = res.perInstruction(
+                res.comp.l1dMiss + res.comp.l2dMiss);
+            t.cell(contrib, 4);
+            if (at == 6)
+                at6_curve.push_back(contrib);
+        }
+    }
+    bench::emit(t, "fig8_l2d_tradeoff");
+
+    if (at6_curve.size() >= 2) {
+        const double last = at6_curve[at6_curve.size() - 1];
+        const double prev = at6_curve[at6_curve.size() - 2];
+        std::cout << "6-cycle curve, 256KW -> 512KW: " << prev
+                  << " -> " << last
+                  << " (paper: still decreasing at 512KW; the "
+                     "optimum L2-D is ~8x the optimum L2-I)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself.
+ *
+ * The paper quotes its simulator at 240,000 references/second on a
+ * 15-20 MIPS MIPS RC3240 (Section 3); these benchmarks report this
+ * implementation's throughput for the trace generator alone and for
+ * full two-level simulations of the base and optimized
+ * architectures.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/config.hh"
+#include "core/simulator.hh"
+#include "synth/suite.hh"
+#include "trace/compose.hh"
+
+namespace
+{
+
+using namespace gaas;
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    auto spec = synth::defaultSuite()[0];
+    spec.simInstructions = 1ull << 40; // never exhausts mid-run
+    synth::SyntheticBenchmark bench(spec);
+    trace::MemRef ref;
+    Count refs = 0;
+    for (auto _ : state) {
+        bench.next(ref);
+        benchmark::DoNotOptimize(ref.addr);
+        ++refs;
+    }
+    state.counters["refs/s"] = benchmark::Counter(
+        static_cast<double>(refs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+simulateConfig(benchmark::State &state,
+               const core::SystemConfig &cfg)
+{
+    const auto instructions =
+        static_cast<Count>(state.range(0));
+    Count refs = 0;
+    for (auto _ : state) {
+        core::Simulator sim(cfg, core::Workload::standard(8));
+        const auto res = sim.run(instructions);
+        refs += res.sys.ifetches + res.sys.loads + res.sys.stores;
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.counters["refs/s"] = benchmark::Counter(
+        static_cast<double>(refs), benchmark::Counter::kIsRate);
+    state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+}
+
+void
+BM_SimulateBaseline(benchmark::State &state)
+{
+    simulateConfig(state, core::baseline());
+}
+BENCHMARK(BM_SimulateBaseline)->Arg(200000)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_SimulateOptimized(benchmark::State &state)
+{
+    simulateConfig(state, core::optimized());
+}
+BENCHMARK(BM_SimulateOptimized)->Arg(200000)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_SimulateWriteOnly(benchmark::State &state)
+{
+    simulateConfig(state, core::afterWritePolicy());
+}
+BENCHMARK(BM_SimulateWriteOnly)->Arg(200000)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table 1: the multiprogramming workload.
+ *
+ * The paper characterises each benchmark by instruction count, loads
+ * and stores as a percentage of instructions, and the number of
+ * voluntary system calls.  This binary plays each synthetic benchmark
+ * standalone and reports the measured mix next to the paper-scale
+ * column values the suite models.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "synth/suite.hh"
+#include "trace/compose.hh"
+
+int
+main()
+{
+    using namespace gaas;
+    bench::banner("Table 1", "benchmarks of the multiprogramming "
+                             "workload");
+
+    stats::Table t({"benchmark", "description", "type", "instr (M)",
+                    "loads (%)", "stores (%)", "syscalls"});
+    t.setTitle("Measured mix of each synthetic benchmark (paper-scale "
+               "instruction counts)");
+
+    Count total_refs = 0;
+    for (const auto &spec : synth::defaultSuite()) {
+        // Measure the mix over one (scaled) pass of the trace.
+        trace::MixSource mix(synth::makeBenchmark(spec));
+        trace::MemRef ref;
+        while (mix.next(ref)) {
+        }
+        const auto &m = mix.mix();
+        total_refs += m.total();
+
+        // Scale measured counts back to the paper-scale run length.
+        const double scale = spec.paperInstructionsM * 1e6 /
+                             static_cast<double>(m.instructions);
+        t.newRow()
+            .cell(spec.name)
+            .cell(spec.description)
+            .cell(synth::arithClassTag(spec.arith))
+            .cell(spec.paperInstructionsM, 0)
+            .cell(100.0 * m.loadFraction(), 1)
+            .cell(100.0 * m.storeFraction(), 1)
+            .cell(static_cast<std::uint64_t>(
+                static_cast<double>(m.syscalls) * scale));
+    }
+    bench::emit(t, "table1_workloads");
+
+    double paper_minstr = 0;
+    double paper_refs = 0;
+    for (const auto &spec : synth::defaultSuite()) {
+        paper_minstr += spec.paperInstructionsM;
+        paper_refs += spec.paperInstructionsM *
+                      (1.0 + spec.loadFrac + spec.storeFrac);
+    }
+    std::cout << "paper-scale suite size: " << paper_minstr / 1000.0
+              << " billion instructions, " << paper_refs / 1000.0
+              << " billion references (paper: ~2.5 billion "
+                 "references)\n"
+              << "scaled trace references this run: " << total_refs
+              << "\n";
+    return 0;
+}

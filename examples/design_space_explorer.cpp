@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Example: a small command-line front end over the whole design
+ * space -- build any two-level configuration from flags and simulate
+ * it on the standard workload.
+ *
+ * Usage:
+ *   design_space_explorer [options]
+ *     --instructions N     instruction budget (default 1,000,000)
+ *     --mp N               multiprogramming level (default 8)
+ *     --policy P           writeback | invalidate | writeonly |
+ *                          subblock
+ *     --l1 WORDS           L1 size in words (both I and D)
+ *     --line WORDS         L1 line/fetch size in words
+ *     --l2 WORDS           L2 size in words
+ *     --l2-assoc N         L2 associativity
+ *     --l2-access CYCLES   L2 access time
+ *     --l2-org ORG         unified | logical | physical
+ *     --concurrency        enable all Section-9 features
+ *     --config FILE        load a saved configuration first
+ *     --save-config FILE   write the assembled configuration
+ *
+ * Example:
+ *   design_space_explorer --policy writeonly --l2-org physical \
+ *       --concurrency
+ *
+ * Demonstrates: assembling a SystemConfig by hand, validation
+ * errors, and the full SimResult surface.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/config.hh"
+#include "core/config_io.hh"
+#include "core/simulator.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace gaas;
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    std::cerr << "design_space_explorer: " << msg
+              << " (see the file comment for options)\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Count instructions = 1'000'000;
+    unsigned mp = 8;
+    auto cfg = core::baseline();
+    cfg.name = "explorer";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(("missing value for " + arg).c_str());
+            return argv[i];
+        };
+        if (arg == "--config") {
+            cfg = core::loadConfigFile(next());
+        } else if (arg == "--save-config") {
+            core::saveConfigFile(cfg, next());
+            std::cout << "config saved\n";
+        } else if (arg == "--instructions") {
+            instructions = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--mp") {
+            mp = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--policy") {
+            const std::string p = next();
+            if (p == "writeback")
+                cfg.writePolicy = core::WritePolicy::WriteBack;
+            else if (p == "invalidate")
+                cfg.writePolicy =
+                    core::WritePolicy::WriteMissInvalidate;
+            else if (p == "writeonly")
+                cfg.writePolicy = core::WritePolicy::WriteOnly;
+            else if (p == "subblock")
+                cfg.writePolicy =
+                    core::WritePolicy::SubblockPlacement;
+            else
+                usage("unknown policy");
+            cfg.applyPolicyDefaults();
+        } else if (arg == "--l1") {
+            const auto words =
+                std::strtoull(next().c_str(), nullptr, 10);
+            cfg.l1i.sizeWords = cfg.l1d.sizeWords = words;
+        } else if (arg == "--line") {
+            const auto words = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+            cfg.l1i.lineWords = cfg.l1i.fetchWords = words;
+            cfg.l1d.lineWords = cfg.l1d.fetchWords = words;
+        } else if (arg == "--l2") {
+            cfg.l2.cache.sizeWords =
+                std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--l2-assoc") {
+            cfg.l2.cache.assoc = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--l2-access") {
+            cfg.l2.accessTime =
+                std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--l2-org") {
+            const std::string org = next();
+            if (org == "unified")
+                cfg.l2Org = core::L2Org::Unified;
+            else if (org == "logical")
+                cfg.l2Org = core::L2Org::LogicalSplit;
+            else if (org == "physical") {
+                // Adopt the paper's physical partitioning.
+                const auto split = core::afterSplitL2();
+                cfg.l2Org = split.l2Org;
+                cfg.l2i = split.l2i;
+                cfg.l2d = split.l2d;
+            } else {
+                usage("unknown L2 organisation");
+            }
+        } else if (arg == "--concurrency") {
+            if (!cfg.l2IsSplit() ||
+                cfg.writePolicy != core::WritePolicy::WriteOnly) {
+                usage("--concurrency needs --l2-org "
+                      "logical/physical and --policy writeonly");
+            }
+            cfg.concurrentIRefill = true;
+            cfg.loadBypass = core::LoadBypass::DirtyBit;
+            cfg.l2DirtyBuffer = true;
+        } else {
+            usage(("unknown option " + arg).c_str());
+        }
+    }
+
+    try {
+        cfg.validate();
+        std::cout << cfg.describe() << "\n\n";
+        const auto res = core::runStandard(cfg, instructions, mp,
+                                           instructions / 2);
+        std::cout << res.formatBreakdown() << '\n'
+                  << "L1-I miss ratio: " << res.sys.l1iMissRatio()
+                  << "\nL1-D read miss ratio: "
+                  << res.sys.l1dReadMissRatio()
+                  << "\nL2 miss ratio: " << res.sys.l2MissRatio()
+                  << "\ncontext switches: " << res.contextSwitches
+                  << " (" << res.syscallSwitches << " via syscall)\n";
+    } catch (const gaas::FatalError &err) {
+        std::cerr << err.what() << '\n';
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Example: explore the write-policy trade-off (the Section 6 study)
+ * on your own grid of L2 access times.
+ *
+ * Usage: write_policy_study [instructions] [access times...]
+ *   e.g. write_policy_study 2000000 3 5 7 9 11
+ *
+ * Demonstrates: building configurations with withWritePolicy(),
+ * sweeping a parameter, and reading the CPI breakdown to see *where*
+ * each policy loses cycles (write hits vs write-buffer waits).
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/simulator.hh"
+#include "stats/table.hh"
+#include "util/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gaas;
+
+    Count instructions = 1'000'000;
+    std::vector<Cycles> access_times = {2, 4, 6, 8, 10};
+    if (argc > 1)
+        instructions = std::strtoull(argv[1], nullptr, 10);
+    if (argc > 2) {
+        access_times.clear();
+        for (int i = 2; i < argc; ++i)
+            access_times.push_back(std::strtoull(argv[i], nullptr,
+                                                 10));
+    }
+
+    const core::WritePolicy policies[] = {
+        core::WritePolicy::WriteBack,
+        core::WritePolicy::WriteMissInvalidate,
+        core::WritePolicy::WriteOnly,
+        core::WritePolicy::SubblockPlacement,
+    };
+
+    try {
+        stats::Table t({"policy", "L2 access", "CPI", "write CPI",
+                        "WB-wait CPI", "write miss ratio"});
+        t.setTitle("Write-policy study (base architecture, MP=8)");
+
+        for (const Cycles access : access_times) {
+            for (const auto policy : policies) {
+                auto cfg = core::withWritePolicy(core::baseline(),
+                                                 policy);
+                cfg.l2.accessTime = access;
+                const auto res = core::runStandard(
+                    cfg, instructions, 8, instructions / 2);
+                t.newRow()
+                    .cell(core::writePolicyName(policy))
+                    .cell(static_cast<std::uint64_t>(access))
+                    .cell(res.cpi(), 4)
+                    .cell(res.perInstruction(res.comp.l1Writes), 4)
+                    .cell(res.perInstruction(res.comp.wbWait), 4)
+                    .cell(res.sys.l1dWriteMissRatio(), 4);
+            }
+        }
+        t.print(std::cout);
+
+        std::cout << "\nReading the table: the write-back policy "
+                     "pays a constant 'write CPI' for its 2-cycle "
+                     "hits, while the write-through policies pay "
+                     "growing 'WB-wait CPI' as L2 slows -- the "
+                     "trade-off crosses near 8 cycles (Fig. 5).\n";
+    } catch (const FatalError &err) {
+        std::cerr << err.what() << '\n';
+        return 1;
+    }
+    return 0;
+}

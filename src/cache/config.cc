@@ -1,0 +1,63 @@
+#include "config.hh"
+
+#include <sstream>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gaas::cache
+{
+
+void
+CacheConfig::validate(const char *what) const
+{
+    if (!isPowerOf2(sizeWords))
+        gaas_fatal(what, ": size (", sizeWords,
+                   "W) must be a power of two");
+    if (!isPowerOf2(lineWords))
+        gaas_fatal(what, ": line size (", lineWords,
+                   "W) must be a power of two");
+    if (lineWords > 32)
+        gaas_fatal(what, ": line size (", lineWords,
+                   "W) exceeds the 32W subblock-mask limit");
+    if (fetchWords != lineWords) {
+        gaas_fatal(what, ": fetch size (", fetchWords,
+                   "W) must equal line size (", lineWords,
+                   "W) in this design study");
+    }
+    if (assoc == 0)
+        gaas_fatal(what, ": associativity must be nonzero");
+    if (sizeWords < static_cast<std::uint64_t>(lineWords) * assoc)
+        gaas_fatal(what, ": size too small for one set");
+    if (lines() % assoc != 0)
+        gaas_fatal(what, ": lines not divisible by associativity");
+    if (!isPowerOf2(sets()))
+        gaas_fatal(what, ": set count must be a power of two");
+}
+
+std::string
+CacheConfig::describe() const
+{
+    std::ostringstream os;
+    if (sizeWords % 1024 == 0)
+        os << sizeWords / 1024 << "KW";
+    else
+        os << sizeWords << "W";
+    os << ' ' << assoc << "-way " << lineWords << "W lines";
+    return os.str();
+}
+
+CacheConfig
+directMapped(std::uint64_t size_words, unsigned line_words)
+{
+    return CacheConfig{size_words, 1, line_words, line_words};
+}
+
+CacheConfig
+setAssoc(std::uint64_t size_words, unsigned assoc,
+         unsigned line_words)
+{
+    return CacheConfig{size_words, assoc, line_words, line_words};
+}
+
+} // namespace gaas::cache

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Geometry of a single cache (size, associativity, line/fetch size).
+ *
+ * Capacities are in 32-bit words to mirror the paper's units (a 4KW
+ * cache is 16KB).
+ */
+
+#ifndef GAAS_CACHE_CONFIG_HH
+#define GAAS_CACHE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace gaas::cache
+{
+
+/** Geometry of one cache array. */
+struct CacheConfig
+{
+    /** Total capacity in words. */
+    std::uint64_t sizeWords = 4 * 1024;
+
+    /** Set associativity (1 = direct mapped). */
+    unsigned assoc = 1;
+
+    /** Line size in words. */
+    unsigned lineWords = 4;
+
+    /**
+     * Fetch size in words.  In this design study the fetch size and
+     * line size grow together (Section 8), so fetchWords must equal
+     * lineWords; the field exists so configurations read like the
+     * paper.
+     */
+    unsigned fetchWords = 4;
+
+    /** @name Derived geometry */
+    ///@{
+    std::uint64_t lines() const { return sizeWords / lineWords; }
+    std::uint64_t sets() const { return lines() / assoc; }
+    unsigned lineBytes() const { return lineWords * kWordBytes; }
+    std::uint64_t sizeBytes() const { return sizeWords * kWordBytes; }
+    ///@}
+
+    /** Throws FatalError if the geometry is inconsistent. */
+    void validate(const char *what) const;
+
+    /** e.g. "4KW 1-way 4W lines". */
+    std::string describe() const;
+
+    bool operator==(const CacheConfig &) const = default;
+};
+
+/** Convenience factory: @p size_words direct-mapped, 4W lines. */
+CacheConfig directMapped(std::uint64_t size_words,
+                         unsigned line_words = 4);
+
+/** Convenience factory: @p size_words @p assoc-way, @p line_words. */
+CacheConfig setAssoc(std::uint64_t size_words, unsigned assoc,
+                     unsigned line_words = 4);
+
+} // namespace gaas::cache
+
+#endif // GAAS_CACHE_CONFIG_HH

@@ -1,0 +1,127 @@
+#include "tag_store.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gaas::cache
+{
+
+TagStore::TagStore(const CacheConfig &config, const char *what)
+    : cfg(config)
+{
+    cfg.validate(what);
+    lineShift = floorLog2(cfg.lineBytes());
+    lineMask = mask(lineShift);
+    indexBits = floorLog2(cfg.sets());
+    fullValidMask = static_cast<std::uint32_t>(mask(cfg.lineWords));
+    lines.assign(cfg.sets() * cfg.assoc, LineState{});
+}
+
+std::uint64_t
+TagStore::setIndex(Addr addr) const
+{
+    return bits(addr, lineShift, indexBits);
+}
+
+std::uint64_t
+TagStore::tagOf(Addr addr) const
+{
+    return addr >> (lineShift + indexBits);
+}
+
+unsigned
+TagStore::wordInLine(Addr addr) const
+{
+    return static_cast<unsigned>(bits(addr, kWordShift,
+                                      lineShift - kWordShift));
+}
+
+LineState *
+TagStore::setBase(std::uint64_t set)
+{
+    return &lines[set * cfg.assoc];
+}
+
+LineState *
+TagStore::find(Addr addr)
+{
+    const std::uint64_t tag = tagOf(addr);
+    LineState *base = setBase(setIndex(addr));
+    for (unsigned way = 0; way < cfg.assoc; ++way) {
+        LineState &line = base[way];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const LineState *
+TagStore::find(Addr addr) const
+{
+    return const_cast<TagStore *>(this)->find(addr);
+}
+
+LineState &
+TagStore::victim(Addr addr)
+{
+    LineState *base = setBase(setIndex(addr));
+    LineState *victim = base;
+    for (unsigned way = 0; way < cfg.assoc; ++way) {
+        LineState &line = base[way];
+        if (!line.valid)
+            return line;
+        if (line.lru < victim->lru)
+            victim = &line;
+    }
+    return *victim;
+}
+
+LineState &
+TagStore::allocate(Addr addr, Eviction &evicted)
+{
+    LineState &line = victim(addr);
+
+    evicted = Eviction{};
+    if (line.valid) {
+        evicted.valid = true;
+        evicted.dirty = line.dirty;
+        evicted.lineAddr =
+            (line.tag << (lineShift + indexBits)) |
+            (setIndex(addr) << lineShift);
+    }
+
+    line.tag = tagOf(addr);
+    line.valid = true;
+    line.dirty = false;
+    line.writeOnly = false;
+    line.validMask = fullValidMask;
+    touch(line);
+    return line;
+}
+
+void
+TagStore::invalidateAll()
+{
+    for (auto &line : lines)
+        line = LineState{};
+}
+
+std::uint64_t
+TagStore::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+TagStore::dirtyCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines)
+        n += (line.valid && line.dirty) ? 1 : 0;
+    return n;
+}
+
+} // namespace gaas::cache

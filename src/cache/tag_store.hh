@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tag/state array of one cache.
+ *
+ * TagStore holds per-line state -- tag, valid, dirty, the write-only
+ * mark of the paper's new write policy, and the per-word valid mask
+ * of subblock placement -- and implements lookup, LRU victim
+ * selection, and replacement.  It knows nothing about timing; the
+ * core::CacheSystem charges cycles.
+ */
+
+#ifndef GAAS_CACHE_TAG_STORE_HH
+#define GAAS_CACHE_TAG_STORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.hh"
+#include "util/types.hh"
+
+namespace gaas::cache
+{
+
+/** State of one cache line. */
+struct LineState
+{
+    std::uint64_t tag = 0;
+    bool valid = false;
+
+    /** Line has been written since allocation (write-back data, or
+     *  the extra dirty bit Section 9 adds for the load-bypass
+     *  scheme). */
+    bool dirty = false;
+
+    /** The write-only mark of the paper's new policy (Section 6):
+     *  reads that map to a write-only line miss. */
+    bool writeOnly = false;
+
+    /** Per-word valid bits for subblock placement; bit i covers word
+     *  i of the line.  Fully-valid lines have all line-word bits
+     *  set. */
+    std::uint32_t validMask = 0;
+
+    std::uint64_t lru = 0;
+};
+
+/** Result of a replacement: what was evicted, if anything. */
+struct Eviction
+{
+    bool valid = false;    //!< a valid line was displaced
+    bool dirty = false;    //!< ... and it was dirty
+    Addr lineAddr = 0;     //!< its byte address
+};
+
+/** The tag/state array; see file comment. */
+class TagStore
+{
+  public:
+    /** @param config validated geometry
+     *  @param what   name used in diagnostics ("L1-I", ...) */
+    TagStore(const CacheConfig &config, const char *what);
+
+    /** @name Address dissection */
+    ///@{
+    Addr lineAddr(Addr addr) const { return addr & ~lineMask; }
+    std::uint64_t setIndex(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+    unsigned wordInLine(Addr addr) const;
+    ///@}
+
+    /** Bit in LineState::validMask covering @p addr's word. */
+    std::uint32_t
+    wordBit(Addr addr) const
+    {
+        return std::uint32_t{1} << wordInLine(addr);
+    }
+
+    /** Mask with one bit per word of a (fully valid) line. */
+    std::uint32_t fullMask() const { return fullValidMask; }
+
+    /**
+     * Tag-match probe.  A hit is any valid line with a matching tag,
+     * regardless of writeOnly/validMask -- the policy layer decides
+     * whether that counts as usable.
+     *
+     * @return the line, or nullptr on a tag miss
+     */
+    LineState *find(Addr addr);
+    const LineState *find(Addr addr) const;
+
+    /** Mark @p line most recently used. */
+    void touch(LineState &line) { line.lru = ++lruClock; }
+
+    /**
+     * The line that allocate() would displace for @p addr (invalid
+     * way if any, else LRU).  Used by the dirty-bit load-bypass
+     * scheme, which must inspect the victim before fetching.
+     */
+    LineState &victim(Addr addr);
+
+    /**
+     * Replace the victim with a line for @p addr.
+     *
+     * The new line is valid, clean, not write-only, fully valid, and
+     * most recently used; callers adjust state for their policy.
+     *
+     * @param addr     address being allocated
+     * @param evicted  filled with what was displaced
+     * @return the new line
+     */
+    LineState &allocate(Addr addr, Eviction &evicted);
+
+    /** Invalidate every line. */
+    void invalidateAll();
+
+    /** Number of valid lines (test/diagnostic helper). */
+    std::uint64_t validCount() const;
+
+    /** Number of valid dirty lines (test/diagnostic helper). */
+    std::uint64_t dirtyCount() const;
+
+    const CacheConfig &config() const { return cfg; }
+
+  private:
+    LineState *setBase(std::uint64_t set);
+
+    CacheConfig cfg;
+    Addr lineMask;
+    unsigned lineShift;
+    unsigned indexBits;
+    std::uint32_t fullValidMask;
+    std::vector<LineState> lines; //!< sets * assoc, set-major
+    std::uint64_t lruClock = 0;
+};
+
+} // namespace gaas::cache
+
+#endif // GAAS_CACHE_TAG_STORE_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The cycle-accounting two-level cache system: the reference
+ * processor's memory side.
+ *
+ * CacheSystem ties together the L1 I/D tag stores, the secondary
+ * cache (unified, logically split, or physically split), the write
+ * buffer, the MMU, and main memory, and charges stall cycles
+ * according to the timing rules of Sections 2 and 6-9 of the paper
+ * (see DESIGN.md section 4 for the contract).
+ *
+ * Each of ifetch/load/store takes the current cycle and returns the
+ * stall cycles the access adds beyond the instruction's base cost;
+ * stalls are simultaneously attributed to the Fig. 4 CPI buckets.
+ */
+
+#ifndef GAAS_CORE_CACHE_SYSTEM_HH
+#define GAAS_CORE_CACHE_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+
+#include "cache/tag_store.hh"
+#include "core/config.hh"
+#include "core/cpi.hh"
+#include "mem/main_memory.hh"
+#include "mem/write_buffer.hh"
+#include "mmu/mmu.hh"
+
+namespace gaas::core
+{
+
+/** The memory side of the machine; see file comment. */
+class CacheSystem
+{
+  public:
+    /** Validates @p config (throws FatalError if inconsistent). */
+    explicit CacheSystem(const SystemConfig &config);
+
+    /**
+     * Fetch the instruction at @p vaddr for process @p pid.
+     * @return stall cycles beyond the base instruction cost
+     */
+    Cycles ifetch(Cycles now, Pid pid, Addr vaddr);
+
+    /** Execute a load; @return stall cycles. */
+    Cycles load(Cycles now, Pid pid, Addr vaddr);
+
+    /**
+     * Execute a store.
+     * @param partial_word the store writes less than a full word
+     * @return stall cycles
+     */
+    Cycles store(Cycles now, Pid pid, Addr vaddr, bool partial_word);
+
+    /** Event counters (TLB/WB/memory stats are folded in). */
+    SysStats stats() const;
+
+    /** Stall cycles by CPI bucket. */
+    const CpiComponents &components() const { return comp; }
+
+    /**
+     * Zero every statistic while keeping all cache/TLB/write-buffer
+     * state, so measurements can start from a warmed hierarchy (the
+     * long-trace discipline of [BKW90] the paper follows).
+     */
+    void resetStats();
+
+    const SystemConfig &config() const { return cfg; }
+
+    /** @name Introspection for tests */
+    ///@{
+    const cache::TagStore &l1iStore() const { return l1i; }
+    const cache::TagStore &l1dStore() const { return l1d; }
+    const cache::TagStore &l2InstStore() const;
+    const cache::TagStore &l2DataStore() const;
+    const mem::WriteBuffer &writeBuffer() const { return wb; }
+    const mem::MainMemory &mainMemory() const { return memory; }
+    const mmu::Mmu &mmu() const { return mmuUnit; }
+    ///@}
+
+  private:
+    struct L2Result
+    {
+        Cycles access = 0; //!< L2 array access + transfer cycles
+        Cycles memory = 0; //!< main-memory cycles on an L2 miss
+    };
+
+    cache::TagStore &l2Store(bool is_inst);
+    L2Result l2Access(bool is_inst, Addr paddr, Cycles now,
+                      unsigned fetch_words);
+    Cycles extraTransferCycles(unsigned fetch_words) const;
+    Cycles dataMissWriteBufferWait(Addr paddr, Cycles now);
+    void applyWriteToL2(Addr paddr);
+    cache::LineState &refillL1D(Addr paddr, Cycles now,
+                                Cycles &stall);
+
+    SystemConfig cfg;
+    mmu::Mmu mmuUnit;
+    cache::TagStore l1i;
+    cache::TagStore l1d;
+    std::optional<cache::TagStore> l2u;  //!< unified
+    std::optional<cache::TagStore> l2is; //!< split, instruction side
+    std::optional<cache::TagStore> l2ds; //!< split, data side
+    mem::WriteBuffer wb;
+    mem::MainMemory memory;
+
+    SysStats st;
+    CpiComponents comp;
+};
+
+} // namespace gaas::core
+
+#endif // GAAS_CORE_CACHE_SYSTEM_HH

@@ -1,0 +1,300 @@
+#include "config_io.hh"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gaas::core
+{
+
+namespace
+{
+
+const char *
+policyKey(WritePolicy p)
+{
+    switch (p) {
+      case WritePolicy::WriteBack:
+        return "writeback";
+      case WritePolicy::WriteMissInvalidate:
+        return "invalidate";
+      case WritePolicy::WriteOnly:
+        return "writeonly";
+      case WritePolicy::SubblockPlacement:
+        return "subblock";
+    }
+    return "?";
+}
+
+WritePolicy
+parsePolicy(const std::string &v)
+{
+    if (v == "writeback")
+        return WritePolicy::WriteBack;
+    if (v == "invalidate")
+        return WritePolicy::WriteMissInvalidate;
+    if (v == "writeonly")
+        return WritePolicy::WriteOnly;
+    if (v == "subblock")
+        return WritePolicy::SubblockPlacement;
+    gaas_fatal("unknown write policy '", v, "'");
+}
+
+const char *
+orgKey(L2Org org)
+{
+    switch (org) {
+      case L2Org::Unified:
+        return "unified";
+      case L2Org::LogicalSplit:
+        return "logical";
+      case L2Org::PhysicalSplit:
+        return "physical";
+    }
+    return "?";
+}
+
+L2Org
+parseOrg(const std::string &v)
+{
+    if (v == "unified")
+        return L2Org::Unified;
+    if (v == "logical")
+        return L2Org::LogicalSplit;
+    if (v == "physical")
+        return L2Org::PhysicalSplit;
+    gaas_fatal("unknown L2 organisation '", v, "'");
+}
+
+const char *
+bypassKey(LoadBypass b)
+{
+    switch (b) {
+      case LoadBypass::None:
+        return "none";
+      case LoadBypass::Associative:
+        return "associative";
+      case LoadBypass::DirtyBit:
+        return "dirtybit";
+    }
+    return "?";
+}
+
+LoadBypass
+parseBypass(const std::string &v)
+{
+    if (v == "none")
+        return LoadBypass::None;
+    if (v == "associative")
+        return LoadBypass::Associative;
+    if (v == "dirtybit")
+        return LoadBypass::DirtyBit;
+    gaas_fatal("unknown load-bypass scheme '", v, "'");
+}
+
+std::uint64_t
+parseU64(const std::string &key, const std::string &v)
+{
+    std::size_t used = 0;
+    std::uint64_t out = 0;
+    try {
+        out = std::stoull(v, &used, 0);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != v.size())
+        gaas_fatal("bad numeric value for ", key, ": '", v, "'");
+    return out;
+}
+
+bool
+parseBool(const std::string &key, const std::string &v)
+{
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    gaas_fatal("bad boolean value for ", key, ": '", v, "'");
+}
+
+std::string
+trim(const std::string &s)
+{
+    const auto first = s.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = s.find_last_not_of(" \t\r");
+    return s.substr(first, last - first + 1);
+}
+
+} // namespace
+
+void
+saveConfig(const SystemConfig &cfg, std::ostream &os)
+{
+    os << "# gaascache system configuration\n"
+       << "name = " << cfg.name << '\n'
+       << "l1i.size_words = " << cfg.l1i.sizeWords << '\n'
+       << "l1i.assoc = " << cfg.l1i.assoc << '\n'
+       << "l1i.line_words = " << cfg.l1i.lineWords << '\n'
+       << "l1d.size_words = " << cfg.l1d.sizeWords << '\n'
+       << "l1d.assoc = " << cfg.l1d.assoc << '\n'
+       << "l1d.line_words = " << cfg.l1d.lineWords << '\n'
+       << "write_policy = " << policyKey(cfg.writePolicy) << '\n'
+       << "l2.org = " << orgKey(cfg.l2Org) << '\n'
+       << "l2.size_words = " << cfg.l2.cache.sizeWords << '\n'
+       << "l2.assoc = " << cfg.l2.cache.assoc << '\n'
+       << "l2.line_words = " << cfg.l2.cache.lineWords << '\n'
+       << "l2.access_time = " << cfg.l2.accessTime << '\n'
+       << "l2i.size_words = " << cfg.l2i.cache.sizeWords << '\n'
+       << "l2i.assoc = " << cfg.l2i.cache.assoc << '\n'
+       << "l2i.line_words = " << cfg.l2i.cache.lineWords << '\n'
+       << "l2i.access_time = " << cfg.l2i.accessTime << '\n'
+       << "l2d.size_words = " << cfg.l2d.cache.sizeWords << '\n'
+       << "l2d.assoc = " << cfg.l2d.cache.assoc << '\n'
+       << "l2d.line_words = " << cfg.l2d.cache.lineWords << '\n'
+       << "l2d.access_time = " << cfg.l2d.accessTime << '\n'
+       << "transfer_words_per_cycle = " << cfg.transferWordsPerCycle
+       << '\n'
+       << "wb.depth = " << cfg.wbDepth << '\n'
+       << "wb.entry_words = " << cfg.wbEntryWords << '\n'
+       << "wb.stream_overlap = " << cfg.wbStreamOverlap << '\n'
+       << "concurrent_i_refill = "
+       << (cfg.concurrentIRefill ? "true" : "false") << '\n'
+       << "load_bypass = " << bypassKey(cfg.loadBypass) << '\n'
+       << "l2_dirty_buffer = "
+       << (cfg.l2DirtyBuffer ? "true" : "false") << '\n'
+       << "memory.clean_miss = " << cfg.memory.cleanMissPenalty
+       << '\n'
+       << "memory.dirty_miss = " << cfg.memory.dirtyMissPenalty
+       << '\n'
+       << "mmu.tlb_miss_penalty = " << cfg.mmu.tlbMissPenalty << '\n'
+       << "mmu.page_colors = " << cfg.mmu.pageTable.colors << '\n'
+       << "mmu.page_coloring = "
+       << (cfg.mmu.pageTable.coloring ? "true" : "false") << '\n'
+       << "time_slice_cycles = " << cfg.timeSliceCycles << '\n';
+}
+
+void
+saveConfigFile(const SystemConfig &cfg, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        gaas_fatal("cannot write config to ", path);
+    saveConfig(cfg, out);
+    if (!out)
+        gaas_fatal("I/O error writing config to ", path);
+}
+
+SystemConfig
+loadConfig(std::istream &is)
+{
+    SystemConfig cfg = baseline();
+    cfg.name = "loaded";
+
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const std::string text = trim(line);
+        if (text.empty() || text[0] == '#')
+            continue;
+        const auto eq = text.find('=');
+        if (eq == std::string::npos) {
+            gaas_fatal("config line ", lineno,
+                       ": expected 'key = value', got '", text, "'");
+        }
+        const std::string key = trim(text.substr(0, eq));
+        const std::string value = trim(text.substr(eq + 1));
+
+        auto setCache = [&](cache::CacheConfig &c,
+                            const std::string &field) {
+            if (field == "size_words") {
+                c.sizeWords = parseU64(key, value);
+            } else if (field == "assoc") {
+                c.assoc =
+                    static_cast<unsigned>(parseU64(key, value));
+            } else if (field == "line_words") {
+                c.lineWords = c.fetchWords =
+                    static_cast<unsigned>(parseU64(key, value));
+            } else {
+                gaas_fatal("config line ", lineno, ": unknown key '",
+                           key, "'");
+            }
+        };
+
+        if (key == "name") {
+            cfg.name = value;
+        } else if (key.rfind("l1i.", 0) == 0) {
+            setCache(cfg.l1i, key.substr(4));
+        } else if (key.rfind("l1d.", 0) == 0) {
+            setCache(cfg.l1d, key.substr(4));
+        } else if (key == "write_policy") {
+            cfg.writePolicy = parsePolicy(value);
+            cfg.applyPolicyDefaults();
+        } else if (key == "l2.org") {
+            cfg.l2Org = parseOrg(value);
+        } else if (key == "l2.access_time") {
+            cfg.l2.accessTime = parseU64(key, value);
+        } else if (key.rfind("l2.", 0) == 0) {
+            setCache(cfg.l2.cache, key.substr(3));
+        } else if (key == "l2i.access_time") {
+            cfg.l2i.accessTime = parseU64(key, value);
+        } else if (key.rfind("l2i.", 0) == 0) {
+            setCache(cfg.l2i.cache, key.substr(4));
+        } else if (key == "l2d.access_time") {
+            cfg.l2d.accessTime = parseU64(key, value);
+        } else if (key.rfind("l2d.", 0) == 0) {
+            setCache(cfg.l2d.cache, key.substr(4));
+        } else if (key == "transfer_words_per_cycle") {
+            cfg.transferWordsPerCycle =
+                static_cast<unsigned>(parseU64(key, value));
+        } else if (key == "wb.depth") {
+            cfg.wbDepth = static_cast<unsigned>(parseU64(key, value));
+        } else if (key == "wb.entry_words") {
+            cfg.wbEntryWords =
+                static_cast<unsigned>(parseU64(key, value));
+        } else if (key == "wb.stream_overlap") {
+            cfg.wbStreamOverlap = parseU64(key, value);
+        } else if (key == "concurrent_i_refill") {
+            cfg.concurrentIRefill = parseBool(key, value);
+        } else if (key == "load_bypass") {
+            cfg.loadBypass = parseBypass(value);
+        } else if (key == "l2_dirty_buffer") {
+            cfg.l2DirtyBuffer = parseBool(key, value);
+        } else if (key == "memory.clean_miss") {
+            cfg.memory.cleanMissPenalty = parseU64(key, value);
+        } else if (key == "memory.dirty_miss") {
+            cfg.memory.dirtyMissPenalty = parseU64(key, value);
+        } else if (key == "mmu.tlb_miss_penalty") {
+            cfg.mmu.tlbMissPenalty = parseU64(key, value);
+        } else if (key == "mmu.page_colors") {
+            cfg.mmu.pageTable.colors =
+                static_cast<unsigned>(parseU64(key, value));
+        } else if (key == "mmu.page_coloring") {
+            cfg.mmu.pageTable.coloring = parseBool(key, value);
+        } else if (key == "time_slice_cycles") {
+            cfg.timeSliceCycles = parseU64(key, value);
+        } else {
+            gaas_fatal("config line ", lineno, ": unknown key '",
+                       key, "'");
+        }
+    }
+
+    cfg.validate();
+    return cfg;
+}
+
+SystemConfig
+loadConfigFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        gaas_fatal("cannot read config from ", path);
+    return loadConfig(in);
+}
+
+} // namespace gaas::core

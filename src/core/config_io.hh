@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Text (de)serialization of SystemConfig: a simple `key = value`
+ * format so design points can be saved, shared, and replayed from
+ * the command line (see examples/design_space_explorer).
+ */
+
+#ifndef GAAS_CORE_CONFIG_IO_HH
+#define GAAS_CORE_CONFIG_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/config.hh"
+
+namespace gaas::core
+{
+
+/** Write @p config as `key = value` lines. */
+void saveConfig(const SystemConfig &config, std::ostream &os);
+
+/** saveConfig to a file; throws FatalError on I/O failure. */
+void saveConfigFile(const SystemConfig &config,
+                    const std::string &path);
+
+/**
+ * Parse a configuration from `key = value` lines.
+ *
+ * Unknown keys, bad values, and malformed lines are fatal (a config
+ * file with a typo must not silently fall back to a default).
+ * Blank lines and lines starting with '#' are ignored.  Keys not
+ * present keep the baseline default.  The result is validated.
+ */
+SystemConfig loadConfig(std::istream &is);
+
+/** loadConfig from a file; throws FatalError if unreadable. */
+SystemConfig loadConfigFile(const std::string &path);
+
+} // namespace gaas::core
+
+#endif // GAAS_CORE_CONFIG_IO_HH

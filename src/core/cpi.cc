@@ -1,0 +1,108 @@
+#include "cpi.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace gaas::core
+{
+
+namespace
+{
+
+double
+ratio(Count num, Count den)
+{
+    return den ? static_cast<double>(num) / static_cast<double>(den)
+               : 0.0;
+}
+
+} // namespace
+
+double
+SysStats::l1iMissRatio() const
+{
+    return ratio(l1iMisses, ifetches);
+}
+
+double
+SysStats::l1dReadMissRatio() const
+{
+    return ratio(l1dReadMisses, loads);
+}
+
+double
+SysStats::l1dWriteMissRatio() const
+{
+    return ratio(l1dWriteMisses, stores);
+}
+
+double
+SysStats::l2MissRatio() const
+{
+    return ratio(l2iMisses + l2dMisses, l2iAccesses + l2dAccesses);
+}
+
+double
+SysStats::l2iMissRatio() const
+{
+    return ratio(l2iMisses, l2iAccesses);
+}
+
+double
+SysStats::l2dMissRatio() const
+{
+    return ratio(l2dMisses, l2dAccesses);
+}
+
+double
+SimResult::cpi() const
+{
+    return ratio(cycles, instructions);
+}
+
+double
+SimResult::baseCpi() const
+{
+    return instructions
+               ? 1.0 + static_cast<double>(cpuStallCycles) /
+                           static_cast<double>(instructions)
+               : 0.0;
+}
+
+double
+SimResult::memCpi() const
+{
+    return perInstruction(comp.total());
+}
+
+double
+SimResult::perInstruction(Cycles bucket_cycles) const
+{
+    return ratio(bucket_cycles, instructions);
+}
+
+std::string
+SimResult::formatBreakdown() const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(4);
+    auto row = [&](const char *label, double value) {
+        os << "  " << std::left << std::setw(16) << label
+           << std::right << std::setw(8) << value << "\n";
+    };
+    os << configName << " CPI breakdown (" << instructions
+       << " instructions):\n";
+    row("base (CPU)", baseCpi());
+    row("L1-I miss", perInstruction(comp.l1iMiss));
+    row("L1-D miss", perInstruction(comp.l1dMiss));
+    row("L1 writes", perInstruction(comp.l1Writes));
+    row("WB", perInstruction(comp.wbWait));
+    row("L2-I miss", perInstruction(comp.l2iMiss));
+    row("L2-D miss", perInstruction(comp.l2dMiss));
+    if (comp.tlb)
+        row("TLB", perInstruction(comp.tlb));
+    row("total", cpi());
+    return os.str();
+}
+
+} // namespace gaas::core

@@ -1,0 +1,176 @@
+#include "simulator.hh"
+
+#include "util/logging.hh"
+
+namespace gaas::core
+{
+
+Simulator::Simulator(const SystemConfig &config, Workload workload)
+    : cfg(config), sys(config)
+{
+    auto processes = workload.take();
+    if (processes.empty())
+        gaas_fatal("Simulator requires at least one process");
+    procs.reserve(processes.size());
+    for (auto &p : processes) {
+        ProcState state;
+        state.stallAcc.setRate(p.baseCpi - 1.0);
+        state.proc = std::move(p);
+        procs.push_back(std::move(state));
+    }
+    alive = procs.size();
+    sliceEnd = cfg.timeSliceCycles;
+}
+
+bool
+Simulator::takeRef(ProcState &p, trace::MemRef &ref)
+{
+    if (p.lookahead) {
+        ref = *p.lookahead;
+        p.lookahead.reset();
+        return true;
+    }
+    return p.proc.source->next(ref);
+}
+
+const trace::MemRef *
+Simulator::peekRef(ProcState &p)
+{
+    if (!p.lookahead) {
+        trace::MemRef ref;
+        if (!p.proc.source->next(ref))
+            return nullptr;
+        p.lookahead = ref;
+    }
+    return &*p.lookahead;
+}
+
+bool
+Simulator::stepInstruction(ProcState &p, Cycles now, Cycles &cycles,
+                           bool &syscall)
+{
+    trace::MemRef ref;
+    if (!takeRef(p, ref))
+        return false;
+    if (!ref.isInst()) {
+        gaas_fatal("malformed trace for process ", p.proc.name,
+                   ": data reference without a preceding "
+                   "instruction");
+    }
+
+    // Base cost: one cycle plus this benchmark's CPU stalls (loads,
+    // branch delays, multi-cycle FP).
+    const Cycles stall_cycles = p.stallAcc.tick();
+    cpuStallCycles += stall_cycles;
+    cycles = 1 + stall_cycles;
+
+    cycles += sys.ifetch(now, p.proc.pid, ref.addr);
+
+    // At most one data reference belongs to this instruction.
+    if (const trace::MemRef *data = peekRef(p);
+        data && data->isData()) {
+        trace::MemRef dref;
+        takeRef(p, dref);
+        if (dref.isLoad()) {
+            cycles += sys.load(now + cycles, p.proc.pid, dref.addr);
+        } else {
+            cycles += sys.store(now + cycles, p.proc.pid, dref.addr,
+                                dref.partialWord);
+        }
+    }
+
+    syscall = ref.syscall;
+    ++p.instructions;
+    return true;
+}
+
+void
+Simulator::runLoop(Count n)
+{
+    auto next_alive = [&](std::size_t from) {
+        std::size_t idx = from;
+        do {
+            idx = (idx + 1) % procs.size();
+        } while (!procs[idx].alive);
+        return idx;
+    };
+
+    if (!procs[current].alive && alive > 0)
+        current = next_alive(current);
+
+    Count executed = 0;
+    while (executed < n && alive > 0) {
+        ProcState &p = procs[current];
+
+        Cycles cycles = 0;
+        bool syscall = false;
+        if (!stepInstruction(p, now, cycles, syscall)) {
+            // Trace exhausted (non-looping workload): retire the
+            // process and hand the CPU to the next one.
+            p.alive = false;
+            --alive;
+            if (alive == 0)
+                break;
+            current = next_alive(current);
+            sliceEnd = now + cfg.timeSliceCycles;
+            continue;
+        }
+
+        now += cycles;
+        ++executed;
+        ++instructions;
+
+        // A voluntary system call switches immediately; otherwise
+        // the process runs out its time slice (Section 3).
+        if (syscall || now >= sliceEnd) {
+            ++contextSwitches;
+            if (syscall)
+                ++syscallSwitches;
+            if (alive > 1)
+                current = next_alive(current);
+            sliceEnd = now + cfg.timeSliceCycles;
+        }
+    }
+}
+
+void
+Simulator::resetMeasurement()
+{
+    sys.resetStats();
+    cpuStallCycles = 0;
+    instructions = 0;
+    contextSwitches = 0;
+    syscallSwitches = 0;
+    measureStartCycle = now;
+}
+
+SimResult
+Simulator::run(Count total_instructions, Count warmup_instructions)
+{
+    if (warmup_instructions > 0) {
+        runLoop(warmup_instructions);
+        resetMeasurement();
+    }
+    runLoop(total_instructions);
+
+    SimResult res;
+    res.configName = cfg.name;
+    res.instructions = instructions;
+    res.cycles = now - measureStartCycle;
+    res.cpuStallCycles = cpuStallCycles;
+    res.contextSwitches = contextSwitches;
+    res.syscallSwitches = syscallSwitches;
+    res.comp = sys.components();
+    res.sys = sys.stats();
+    return res;
+}
+
+SimResult
+runStandard(const SystemConfig &config, Count total_instructions,
+            unsigned mp_level, Count warmup_instructions)
+{
+    Simulator sim(config, Workload::standard(mp_level));
+    return sim.run(total_instructions, warmup_instructions);
+}
+
+} // namespace gaas::core

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The trace-driven simulator: multiplexes the workload's processes
+ * over one CacheSystem under the round-robin scheduler of Section 3
+ * (500k-cycle time slices; every voluntary system call forces a
+ * context switch) and produces a SimResult.
+ */
+
+#ifndef GAAS_CORE_SIMULATOR_HH
+#define GAAS_CORE_SIMULATOR_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/cache_system.hh"
+#include "core/config.hh"
+#include "core/cpi.hh"
+#include "core/workload.hh"
+#include "util/random.hh"
+
+namespace gaas::core
+{
+
+/** The trace-driven simulator; see file comment. */
+class Simulator
+{
+  public:
+    /**
+     * @param config   validated system configuration
+     * @param workload processes to schedule (consumed)
+     */
+    Simulator(const SystemConfig &config, Workload workload);
+
+    /**
+     * Run until @p total_instructions have executed (or every
+     * process's trace is exhausted, for non-looping workloads).
+     *
+     * @param warmup_instructions instructions executed before the
+     *        statistics are reset, so measurements start from a
+     *        warmed cache hierarchy (the long-trace discipline of
+     *        [BKW90]); excluded from the reported counts
+     */
+    SimResult run(Count total_instructions,
+                  Count warmup_instructions = 0);
+
+    /** The cache system (for inspection after run()). */
+    const CacheSystem &system() const { return sys; }
+
+  private:
+    /** Scheduler-side state of one process. */
+    struct ProcState
+    {
+        Process proc;
+        std::optional<trace::MemRef> lookahead;
+        FractionAccumulator stallAcc;
+        bool alive = true;
+        Count instructions = 0;
+    };
+
+    bool takeRef(ProcState &p, trace::MemRef &ref);
+    const trace::MemRef *peekRef(ProcState &p);
+
+    /**
+     * Execute one instruction of @p p at time @p now.
+     *
+     * @param cycles   filled with the instruction's total cycles
+     * @param syscall  true if the instruction was a system call
+     * @retval false   the process's trace is exhausted
+     */
+    bool stepInstruction(ProcState &p, Cycles now, Cycles &cycles,
+                         bool &syscall);
+
+    /** Advance the scheduler/machine by up to @p n instructions. */
+    void runLoop(Count n);
+
+    /** Zero the measured statistics (cache state persists). */
+    void resetMeasurement();
+
+    SystemConfig cfg;
+    CacheSystem sys;
+    std::vector<ProcState> procs;
+
+    /** @name Persistent machine/scheduler state */
+    ///@{
+    Cycles now = 0;
+    std::size_t current = 0;
+    std::size_t alive = 0;
+    Cycles sliceEnd = 0;
+    ///@}
+
+    /** @name Measured since the last resetMeasurement() */
+    ///@{
+    Cycles cpuStallCycles = 0;
+    Cycles measureStartCycle = 0;
+    Count instructions = 0;
+    Count contextSwitches = 0;
+    Count syscallSwitches = 0;
+    ///@}
+};
+
+/**
+ * One-call convenience: build the standard level-8 workload, run
+ * @p total_instructions on @p config, return the result.
+ */
+SimResult runStandard(const SystemConfig &config,
+                      Count total_instructions,
+                      unsigned mp_level = 8,
+                      Count warmup_instructions = 0);
+
+} // namespace gaas::core
+
+#endif // GAAS_CORE_SIMULATOR_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Flat name=value statistics dump of a SimResult, in the spirit of
+ * gem5's stats.txt: one line per statistic, stable names, suitable
+ * for diffing runs and for scripted post-processing.
+ */
+
+#ifndef GAAS_CORE_STATS_DUMP_HH
+#define GAAS_CORE_STATS_DUMP_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/cpi.hh"
+
+namespace gaas::core
+{
+
+/**
+ * Write every statistic of @p result to @p os as
+ * `<name> <value> # <description>` lines, grouped by subsystem.
+ */
+void dumpStats(const SimResult &result, std::ostream &os);
+
+/** dumpStats to a file; @return false (with a warning) on failure. */
+bool dumpStatsFile(const SimResult &result, const std::string &path);
+
+} // namespace gaas::core
+
+#endif // GAAS_CORE_STATS_DUMP_HH

@@ -1,0 +1,49 @@
+#include "workload.hh"
+
+#include "trace/compose.hh"
+#include "util/logging.hh"
+
+namespace gaas::core
+{
+
+Workload
+Workload::fromSpecs(const std::vector<synth::BenchmarkSpec> &specs,
+                    bool loop)
+{
+    Workload wl;
+    for (const auto &spec : specs) {
+        std::unique_ptr<trace::TraceSource> src =
+            synth::makeBenchmark(spec);
+        if (loop) {
+            src = std::make_unique<trace::LoopSource>(std::move(src));
+        }
+        wl.add(std::move(src), spec.baseCpi, spec.name);
+    }
+    return wl;
+}
+
+Workload
+Workload::standard(unsigned mp_level)
+{
+    return fromSpecs(synth::workloadSpecs(mp_level));
+}
+
+void
+Workload::add(std::unique_ptr<trace::TraceSource> source,
+              double base_cpi, const std::string &name)
+{
+    if (!source)
+        gaas_fatal("Workload::add requires a source");
+    if (base_cpi < 1.0)
+        gaas_fatal("base CPI must be at least 1.0, got ", base_cpi);
+    if (processes.size() >= 256)
+        gaas_fatal("PID space exhausted (max 256 processes)");
+    Process p;
+    p.pid = static_cast<Pid>(processes.size());
+    p.name = name;
+    p.baseCpi = base_cpi;
+    p.source = std::move(source);
+    processes.push_back(std::move(p));
+}
+
+} // namespace gaas::core

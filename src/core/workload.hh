@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Workload: the set of processes a simulation multiplexes, i.e. the
+ * paper's "file descriptor multiplexor" plus process configuration
+ * file (Section 3).
+ */
+
+#ifndef GAAS_CORE_WORKLOAD_HH
+#define GAAS_CORE_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synth/suite.hh"
+#include "trace/source.hh"
+#include "util/types.hh"
+
+namespace gaas::core
+{
+
+/** One schedulable process. */
+struct Process
+{
+    Pid pid = 0;
+    std::string name;
+
+    /** CPU-stall CPI floor of this process's code (1.238-style). */
+    double baseCpi = 1.238;
+
+    std::unique_ptr<trace::TraceSource> source;
+};
+
+/**
+ * An ordered set of processes.  The order is the round-robin
+ * schedule order; PIDs are assigned in order of addition.
+ */
+class Workload
+{
+  public:
+    Workload() = default;
+
+    /**
+     * Build from benchmark specs.
+     *
+     * @param specs one process per spec, scheduled in spec order
+     * @param loop  wrap each trace so it restarts when exhausted
+     *              (the usual mode: the simulator runs to an
+     *              instruction budget)
+     */
+    static Workload fromSpecs(
+        const std::vector<synth::BenchmarkSpec> &specs,
+        bool loop = true);
+
+    /**
+     * The standard workload of the paper's experiments: the first
+     * @p mp_level suite benchmarks (Section 3 settles on level 8).
+     */
+    static Workload standard(unsigned mp_level = 8);
+
+    /** Add one process (PID = current process count). */
+    void add(std::unique_ptr<trace::TraceSource> source,
+             double base_cpi, const std::string &name);
+
+    std::size_t size() const { return processes.size(); }
+    bool empty() const { return processes.empty(); }
+
+    /** Move the processes out (the Simulator consumes them). */
+    std::vector<Process> take() { return std::move(processes); }
+
+  private:
+    std::vector<Process> processes;
+};
+
+} // namespace gaas::core
+
+#endif // GAAS_CORE_WORKLOAD_HH

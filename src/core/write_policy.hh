@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The four primary data-cache write policies of Section 6.
+ */
+
+#ifndef GAAS_CORE_WRITE_POLICY_HH
+#define GAAS_CORE_WRITE_POLICY_HH
+
+#include <cstdint>
+
+namespace gaas::core
+{
+
+/**
+ * L1-D write policy.
+ *
+ * - WriteBack: write-allocate; hits take 2 cycles (tag check before
+ *   commit), misses fetch the line; victims drain through a 4-deep
+ *   4W write buffer.  The base architecture's policy.
+ * - WriteMissInvalidate: write-through; hits take 1 cycle (tag check
+ *   in parallel with the data write), a miss spends a second cycle
+ *   invalidating the corrupted line.
+ * - WriteOnly: the paper's new policy.  Like WriteMissInvalidate, but
+ *   a write miss updates the tag and marks the line *write-only*, so
+ *   subsequent writes to the line hit; reads that map to a write-only
+ *   line miss and reallocate it.  Gives most of subblock placement's
+ *   benefit without extra valid bits.
+ * - SubblockPlacement: write-through with one valid bit per word; a
+ *   word write-miss validates just its word, later word writes hit;
+ *   partial-word writes do not update valid bits.
+ */
+enum class WritePolicy : std::uint8_t {
+    WriteBack,
+    WriteMissInvalidate,
+    WriteOnly,
+    SubblockPlacement,
+};
+
+/** @return true for the three write-through variants. */
+constexpr bool
+isWriteThrough(WritePolicy policy)
+{
+    return policy != WritePolicy::WriteBack;
+}
+
+/** @return a short display name ("write-back", "write-only", ...). */
+const char *writePolicyName(WritePolicy policy);
+
+} // namespace gaas::core
+
+#endif // GAAS_CORE_WRITE_POLICY_HH

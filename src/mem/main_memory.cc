@@ -1,0 +1,58 @@
+#include "main_memory.hh"
+
+#include "util/logging.hh"
+
+namespace gaas::mem
+{
+
+MainMemory::MainMemory(const MainMemoryConfig &config) : cfg(config)
+{
+    if (cfg.cleanMissPenalty == 0)
+        gaas_fatal("main memory clean miss penalty must be nonzero");
+    if (cfg.dirtyMissPenalty < cfg.cleanMissPenalty) {
+        gaas_fatal("dirty miss penalty (", cfg.dirtyMissPenalty,
+                   ") must be at least the clean penalty (",
+                   cfg.cleanMissPenalty, ")");
+    }
+    if (cfg.lineWords == 0)
+        gaas_fatal("main memory line size must be nonzero");
+}
+
+Cycles
+MainMemory::fetchLine(Cycles now, bool dirty_victim)
+{
+    ++memStats.reads;
+    if (dirty_victim)
+        ++memStats.dirtyWritebacks;
+
+    // Wait for any access (or background write-back) still holding
+    // the bus.
+    Cycles wait = 0;
+    if (busBusyUntil > now) {
+        wait = busBusyUntil - now;
+        ++memStats.busWaits;
+        memStats.busWaitCycles += wait;
+    }
+    const Cycles start = now + wait;
+
+    const Cycles writeback_cost =
+        cfg.dirtyMissPenalty - cfg.cleanMissPenalty;
+
+    if (!dirty_victim) {
+        busBusyUntil = start + cfg.cleanMissPenalty;
+        return wait + cfg.cleanMissPenalty;
+    }
+
+    if (cfg.dirtyBuffer) {
+        // Read first; the write-back drains from the dirty buffer
+        // after the requester has its data.
+        busBusyUntil = start + cfg.cleanMissPenalty + writeback_cost;
+        return wait + cfg.cleanMissPenalty;
+    }
+
+    // Write back the dirty line, then read the requested one.
+    busBusyUntil = start + cfg.dirtyMissPenalty;
+    return wait + cfg.dirtyMissPenalty;
+}
+
+} // namespace gaas::mem

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Main-memory timing model.
+ *
+ * The miss penalties are those of the R6020 system-bus chip of the
+ * ECL MIPS RC6230 used for prototyping: 143 cycles for a clean L2
+ * miss and 237 for a dirty one, with 32-word lines (Section 2).
+ *
+ * The optional *dirty buffer* (Section 9) is a single 32-word victim
+ * buffer on the L2-D cache: the requested line is read before the
+ * dirty line is written back, so a dirty miss costs the requester
+ * only the clean penalty while the write-back occupies the memory
+ * bus afterwards.  A following miss that arrives while the bus is
+ * still busy waits for it.
+ */
+
+#ifndef GAAS_MEM_MAIN_MEMORY_HH
+#define GAAS_MEM_MAIN_MEMORY_HH
+
+#include "util/types.hh"
+
+namespace gaas::mem
+{
+
+/** Main-memory timing parameters. */
+struct MainMemoryConfig
+{
+    Cycles cleanMissPenalty = 143; //!< read a 32W line
+    Cycles dirtyMissPenalty = 237; //!< write back + read
+    unsigned lineWords = 32;
+
+    /** Enable the single-line dirty (victim) buffer. */
+    bool dirtyBuffer = false;
+};
+
+/** Traffic and contention statistics. */
+struct MainMemoryStats
+{
+    Count reads = 0;          //!< line fetches
+    Count dirtyWritebacks = 0;
+    Cycles busWaitCycles = 0; //!< waiting for an earlier access
+    Count busWaits = 0;
+};
+
+/** The memory + bus model; see file comment. */
+class MainMemory
+{
+  public:
+    explicit MainMemory(const MainMemoryConfig &config);
+
+    /**
+     * Fetch a line at time @p now, optionally writing back a dirty
+     * victim.
+     *
+     * @param now          current cycle
+     * @param dirty_victim true if the replaced L2 line must be
+     *                     written back
+     * @return stall cycles charged to the requester (includes any
+     *         wait for the bus)
+     */
+    Cycles fetchLine(Cycles now, bool dirty_victim);
+
+    /** When the bus becomes free (for tests and the dirty-buffer
+     *  interaction with the write buffer). */
+    Cycles busyUntil() const { return busBusyUntil; }
+
+    const MainMemoryStats &stats() const { return memStats; }
+    const MainMemoryConfig &config() const { return cfg; }
+
+    /** Zero the statistics (keeps the bus state; used to end a
+     *  cache-warmup phase). */
+    void resetStats() { memStats = MainMemoryStats{}; }
+
+  private:
+    MainMemoryConfig cfg;
+    Cycles busBusyUntil = 0;
+    MainMemoryStats memStats;
+};
+
+} // namespace gaas::mem
+
+#endif // GAAS_MEM_MAIN_MEMORY_HH

@@ -1,0 +1,130 @@
+#include "write_buffer.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gaas::mem
+{
+
+WriteBuffer::WriteBuffer(const WriteBufferConfig &config) : cfg(config)
+{
+    if (cfg.depth == 0)
+        gaas_fatal("write buffer depth must be nonzero");
+    if (cfg.entryWords == 0)
+        gaas_fatal("write buffer entry width must be nonzero");
+    if (cfg.drainCycles == 0)
+        gaas_fatal("write buffer drain time must be nonzero");
+    if (cfg.streamOverlap >= cfg.drainCycles) {
+        gaas_fatal("write buffer stream overlap (", cfg.streamOverlap,
+                   ") must be less than the drain time (",
+                   cfg.drainCycles, ")");
+    }
+}
+
+void
+WriteBuffer::expire(Cycles now)
+{
+    while (!entries.empty() && entries.front().completeAt <= now)
+        entries.pop_front();
+}
+
+Cycles
+WriteBuffer::scheduleCompletion(Cycles now)
+{
+    // An entry that queues behind one still in flight streams into
+    // L2 back to back and overlaps the latency cycles; an entry that
+    // finds the buffer idle pays the full access time.  After
+    // expire(now), a non-empty buffer implies lastComplete > now.
+    const bool streamed = !entries.empty();
+    const Cycles start = streamed ? lastComplete : now;
+    const Cycles cost =
+        cfg.drainCycles - (streamed ? cfg.streamOverlap : 0);
+    lastComplete = start + cost;
+    return lastComplete;
+}
+
+Cycles
+WriteBuffer::push(Cycles now, Addr addr)
+{
+    expire(now);
+    ++wbStats.pushes;
+
+    Cycles stall = 0;
+    if (entries.size() >= cfg.depth) {
+        // Producer stalls until the oldest entry retires.
+        stall = entries.front().completeAt - now;
+        ++wbStats.fullStalls;
+        wbStats.fullStallCycles += stall;
+        expire(now + stall);
+    }
+
+    entries.push_back(Entry{addr, scheduleCompletion(now + stall)});
+    wbStats.maxOccupancy = std::max<Count>(wbStats.maxOccupancy,
+                                           entries.size());
+    return stall;
+}
+
+Cycles
+WriteBuffer::drainAll(Cycles now)
+{
+    expire(now);
+    if (entries.empty())
+        return 0;
+    const Cycles stall = entries.back().completeAt - now;
+    entries.clear();
+    ++wbStats.drainWaits;
+    wbStats.drainWaitCycles += stall;
+    return stall;
+}
+
+Cycles
+WriteBuffer::drainLine(Cycles now, Addr line_addr, unsigned line_bytes)
+{
+    expire(now);
+    if (!isPowerOf2(line_bytes))
+        gaas_panic("drainLine: line size must be a power of two");
+    const Addr line_mask = ~static_cast<Addr>(line_bytes - 1);
+
+    // Find the *youngest* matching entry: all entries ahead of it,
+    // inclusive, must be flushed to keep L2 consistent (Section 9).
+    std::size_t match = entries.size();
+    for (std::size_t i = entries.size(); i-- > 0;) {
+        if ((entries[i].addr & line_mask) == (line_addr & line_mask)) {
+            match = i;
+            break;
+        }
+    }
+    if (match == entries.size()) {
+        ++wbStats.bypasses;
+        return 0;
+    }
+
+    const Cycles stall = entries[match].completeAt - now;
+    entries.erase(entries.begin(),
+                  entries.begin() + static_cast<std::ptrdiff_t>(match) +
+                      1);
+    ++wbStats.drainWaits;
+    wbStats.drainWaitCycles += stall;
+    return stall;
+}
+
+bool
+WriteBuffer::empty(Cycles now) const
+{
+    return entries.empty() || entries.back().completeAt <= now;
+}
+
+unsigned
+WriteBuffer::occupancy(Cycles now) const
+{
+    unsigned n = 0;
+    for (const auto &e : entries) {
+        if (e.completeAt > now)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace gaas::mem

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Write-buffer timing model.
+ *
+ * The base (write-back) architecture uses a 4-deep, 4-word-wide write
+ * buffer between L1-D and L2; the write-through policies use an
+ * 8-deep, 1-word-wide buffer that fits inside the MMU chip
+ * (Section 6).  Entries drain into L2 at the effective L2 access
+ * time; a back-to-back stream of writes overlaps the two cycles of
+ * L2 latency (tag check + chip crossing), as the paper describes.
+ *
+ * The model keeps an absolute completion time per entry, so "wait for
+ * the write buffer to empty before fetching the data for a primary
+ * cache miss" (Section 2) is a simple comparison against the current
+ * cycle.
+ */
+
+#ifndef GAAS_MEM_WRITE_BUFFER_HH
+#define GAAS_MEM_WRITE_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "util/types.hh"
+
+namespace gaas::mem
+{
+
+/** Geometry and drain timing of the write buffer. */
+struct WriteBufferConfig
+{
+    /** Number of entries (4 for write-back, 8 for write-through). */
+    unsigned depth = 4;
+
+    /** Words per entry (4 for write-back victims, 1 for writes). */
+    unsigned entryWords = 4;
+
+    /** Cycles one isolated entry takes to retire into L2 (the
+     *  effective L2 access time). */
+    Cycles drainCycles = 6;
+
+    /** Latency cycles a streamed (back-to-back) entry overlaps. */
+    Cycles streamOverlap = 2;
+};
+
+/** Occupancy and stall statistics of the write buffer. */
+struct WriteBufferStats
+{
+    Count pushes = 0;
+    Count fullStalls = 0;        //!< pushes that found the buffer full
+    Cycles fullStallCycles = 0;  //!< cycles stalled on full pushes
+    Count drainWaits = 0;        //!< misses that had to wait for drain
+    Cycles drainWaitCycles = 0;  //!< cycles spent in those waits
+    Count bypasses = 0;          //!< misses that did not need to wait
+    Count maxOccupancy = 0;
+};
+
+/** The write-buffer model; see file comment. */
+class WriteBuffer
+{
+  public:
+    explicit WriteBuffer(const WriteBufferConfig &config);
+
+    /**
+     * Enqueue one entry at time @p now.
+     *
+     * If the buffer is full the producer stalls until the oldest
+     * entry retires.
+     *
+     * @param now  current cycle
+     * @param addr byte address the entry covers
+     * @return stall cycles charged to the producer (0 if not full)
+     */
+    Cycles push(Cycles now, Addr addr);
+
+    /**
+     * Stall until every entry has retired (the base architecture's
+     * behaviour on any primary-cache miss).
+     *
+     * @return stall cycles
+     */
+    Cycles drainAll(Cycles now);
+
+    /**
+     * Associative-match bypass: stall only if an entry matches the
+     * missed line, and then only until the matched entry (and all
+     * older ones) retire (Section 9).
+     *
+     * @param line_addr  byte address of the missed line
+     * @param line_bytes line size in bytes (power of two)
+     * @return stall cycles (0 when no entry matches)
+     */
+    Cycles drainLine(Cycles now, Addr line_addr, unsigned line_bytes);
+
+    /** Record a miss that was allowed to bypass without waiting. */
+    void noteBypass() { ++wbStats.bypasses; }
+
+    /** @return true if no entry is still draining at @p now. */
+    bool empty(Cycles now) const;
+
+    /** Entries still in flight at @p now. */
+    unsigned occupancy(Cycles now) const;
+
+    /** Remove retired entries; called internally, exposed for tests. */
+    void expire(Cycles now);
+
+    const WriteBufferStats &stats() const { return wbStats; }
+    const WriteBufferConfig &config() const { return cfg; }
+
+    /** Zero the statistics (keeps in-flight entries; used to end a
+     *  cache-warmup phase). */
+    void resetStats() { wbStats = WriteBufferStats{}; }
+
+  private:
+    struct Entry
+    {
+        Addr addr;
+        Cycles completeAt;
+    };
+
+    Cycles scheduleCompletion(Cycles now);
+
+    WriteBufferConfig cfg;
+    std::deque<Entry> entries;
+    /** Completion time of the most recently scheduled entry. */
+    Cycles lastComplete = 0;
+    WriteBufferStats wbStats;
+};
+
+} // namespace gaas::mem
+
+#endif // GAAS_MEM_WRITE_BUFFER_HH

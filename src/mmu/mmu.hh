@@ -1,0 +1,73 @@
+/**
+ * @file
+ * MMU facade: PID-prefixed virtual addressing, split I/D TLBs, and the
+ * page-coloured page table, bundled behind the two calls the cache
+ * system makes.
+ */
+
+#ifndef GAAS_MMU_MMU_HH
+#define GAAS_MMU_MMU_HH
+
+#include "mmu/page_table.hh"
+#include "mmu/tlb.hh"
+
+namespace gaas::mmu
+{
+
+/** Configuration of the whole MMU chip model. */
+struct MmuConfig
+{
+    TlbConfig itlb{32, 2};  //!< Section 2: 2-way, 32 entries
+    TlbConfig dtlb{64, 2};  //!< Section 2: 2-way, 64 entries
+    PageTableConfig pageTable{};
+
+    /** Extra cycles a TLB miss costs.  The paper folds translation
+     *  into the base machine's cycle accounting, so the default is
+     *  zero; ablations raise it. */
+    Cycles tlbMissPenalty = 0;
+};
+
+/** Result of one translation. */
+struct TranslateResult
+{
+    Addr paddr = 0;
+    bool tlbMiss = false;
+};
+
+/** The MMU chip model; see file comment. */
+class Mmu
+{
+  public:
+    explicit Mmu(const MmuConfig &config);
+
+    /** Translate an instruction-fetch address for process @p pid. */
+    TranslateResult translateInst(Pid pid, Addr vaddr);
+
+    /** Translate a data address for process @p pid. */
+    TranslateResult translateData(Pid pid, Addr vaddr);
+
+    const TlbStats &itlbStats() const { return itlb.stats(); }
+    const TlbStats &dtlbStats() const { return dtlb.stats(); }
+
+    /** Zero the TLB statistics (ends a warmup phase). */
+    void
+    resetStats()
+    {
+        itlb.resetStats();
+        dtlb.resetStats();
+    }
+    const PageTable &pageTable() const { return table; }
+    const MmuConfig &config() const { return cfg; }
+
+  private:
+    TranslateResult translate(Tlb &tlb, Pid pid, Addr vaddr);
+
+    MmuConfig cfg;
+    Tlb itlb;
+    Tlb dtlb;
+    PageTable table;
+};
+
+} // namespace gaas::mmu
+
+#endif // GAAS_MMU_MMU_HH

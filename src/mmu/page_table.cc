@@ -1,0 +1,52 @@
+#include "page_table.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gaas::mmu
+{
+
+namespace
+{
+
+constexpr unsigned kPageShift = floorLog2(kPageBytes);
+
+} // namespace
+
+PageTable::PageTable(const PageTableConfig &config)
+    : cfg(config), rng(config.seed)
+{
+    if (cfg.colors == 0 || !isPowerOf2(cfg.colors))
+        gaas_fatal("page colour count must be a power of two");
+    nextGroup.assign(cfg.colors, 0);
+}
+
+std::uint64_t
+PageTable::frameFor(Pid pid, std::uint64_t vpn)
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(pid) << 48) | vpn;
+    auto it = map.find(key);
+    if (it != map.end())
+        return it->second;
+
+    // Allocate: under colouring the frame's colour equals the virtual
+    // page's colour; otherwise the colour is drawn at random.
+    const std::uint64_t color =
+        cfg.coloring ? (vpn & (cfg.colors - 1))
+                     : rng.nextBounded(cfg.colors);
+    const std::uint64_t pfn = nextGroup[color]++ * cfg.colors + color;
+    map.emplace(key, pfn);
+    ++allocated;
+    return pfn;
+}
+
+Addr
+PageTable::translate(Pid pid, Addr vaddr)
+{
+    const std::uint64_t vpn = vaddr >> kPageShift;
+    const std::uint64_t pfn = frameFor(pid, vpn);
+    return (pfn << kPageShift) | (vaddr & mask(kPageShift));
+}
+
+} // namespace gaas::mmu

@@ -1,0 +1,57 @@
+#include "tlb.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gaas::mmu
+{
+
+Tlb::Tlb(const TlbConfig &config) : cfg(config)
+{
+    if (cfg.entries == 0 || cfg.assoc == 0)
+        gaas_fatal("TLB entries and associativity must be nonzero");
+    if (cfg.entries % cfg.assoc != 0)
+        gaas_fatal("TLB entries must be a multiple of associativity");
+    sets = cfg.entries / cfg.assoc;
+    if (!isPowerOf2(sets))
+        gaas_fatal("TLB set count must be a power of two");
+    entries.assign(cfg.entries, Entry{});
+}
+
+bool
+Tlb::access(Pid pid, std::uint64_t vpn)
+{
+    ++tlbStats.accesses;
+    const std::uint64_t tag =
+        (static_cast<std::uint64_t>(pid) << 52) | vpn;
+    const unsigned set = static_cast<unsigned>(vpn & (sets - 1));
+    Entry *base = &entries[static_cast<std::size_t>(set) * cfg.assoc];
+
+    Entry *victim = base;
+    for (unsigned way = 0; way < cfg.assoc; ++way) {
+        Entry &e = base[way];
+        if (e.valid && e.tag == tag) {
+            e.lru = ++lruClock;
+            return true;
+        }
+        if (!victim->valid)
+            continue;
+        if (!e.valid || e.lru < victim->lru)
+            victim = &e;
+    }
+
+    ++tlbStats.misses;
+    victim->tag = tag;
+    victim->valid = true;
+    victim->lru = ++lruClock;
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : entries)
+        e.valid = false;
+}
+
+} // namespace gaas::mmu

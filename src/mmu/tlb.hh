@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Translation-lookaside buffer model.
+ *
+ * The MMU chip holds a 2-way set-associative 32-entry instruction TLB
+ * and a 2-way set-associative 64-entry data TLB (Section 2).  Entries
+ * are tagged with the 8-bit PID so nothing is flushed on a context
+ * switch (Section 3).
+ */
+
+#ifndef GAAS_MMU_TLB_HH
+#define GAAS_MMU_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace gaas::mmu
+{
+
+/** Geometry of one TLB. */
+struct TlbConfig
+{
+    unsigned entries = 32;
+    unsigned assoc = 2;
+};
+
+/** Hit/miss counters of one TLB. */
+struct TlbStats
+{
+    Count accesses = 0;
+    Count misses = 0;
+
+    double
+    missRatio() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** A PID-tagged set-associative TLB with LRU replacement. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    /**
+     * Probe for (pid, vpn); refills the entry on a miss.
+     *
+     * @retval true the translation was present
+     */
+    bool access(Pid pid, std::uint64_t vpn);
+
+    /** Drop every entry (not used on context switches -- PIDs make
+     *  that unnecessary -- but exposed for ablations and tests). */
+    void flush();
+
+    const TlbStats &stats() const { return tlbStats; }
+    const TlbConfig &config() const { return cfg; }
+
+    /** Zero the statistics (keeps entries; ends a warmup phase). */
+    void resetStats() { tlbStats = TlbStats{}; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0; //!< (pid << 52) | vpn
+        bool valid = false;
+        std::uint64_t lru = 0;
+    };
+
+    TlbConfig cfg;
+    unsigned sets;
+    std::vector<Entry> entries; //!< sets * assoc, set-major
+    std::uint64_t lruClock = 0;
+    TlbStats tlbStats;
+};
+
+} // namespace gaas::mmu
+
+#endif // GAAS_MMU_TLB_HH

@@ -1,0 +1,105 @@
+#include "distribution.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gaas::stats
+{
+
+double
+SampleStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+SampleStat::merge(const SampleStat &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double total = static_cast<double>(n + other.n);
+    const double delta = other.mu - mu;
+    const double new_mu =
+        mu + delta * static_cast<double>(other.n) / total;
+    m2 = m2 + other.m2 +
+         delta * delta * static_cast<double>(n) *
+             static_cast<double>(other.n) / total;
+    mu = new_mu;
+    n += other.n;
+    if (other.lo < lo)
+        lo = other.lo;
+    if (other.hi > hi)
+        hi = other.hi;
+}
+
+Histogram::Histogram(double bucket_width, std::size_t bucket_count)
+    : width(bucket_width), counts(bucket_count, 0)
+{
+    if (bucket_width <= 0.0)
+        gaas_fatal("Histogram bucket width must be positive");
+    if (bucket_count == 0)
+        gaas_fatal("Histogram needs at least one bucket");
+}
+
+void
+Histogram::add(double x)
+{
+    sample.add(x);
+    if (x < 0.0) {
+        ++counts[0];
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(x / width);
+    if (idx >= counts.size())
+        ++overflowCount;
+    else
+        ++counts[idx];
+}
+
+double
+Histogram::cdf(double x) const
+{
+    if (sample.count() == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    const auto limit = static_cast<std::size_t>(
+        x < 0.0 ? 0.0 : std::floor(x / width));
+    for (std::size_t i = 0; i < counts.size() && i <= limit; ++i)
+        below += counts[i];
+    if (limit >= counts.size())
+        below += overflowCount;
+    return static_cast<double>(below) /
+           static_cast<double>(sample.count());
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (sample.count() == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(sample.count()));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        cum += counts[i];
+        if (cum >= target)
+            return width * static_cast<double>(i + 1);
+    }
+    return width * static_cast<double>(counts.size());
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts)
+        c = 0;
+    overflowCount = 0;
+    sample.reset();
+}
+
+} // namespace gaas::stats

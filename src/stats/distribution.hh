@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Scalar sample statistics and bucketed distributions.
+ *
+ * The simulator uses these to characterise workloads (basic-block
+ * lengths, reuse distances, write-buffer occupancy) and the test suite
+ * uses them to assert statistical properties of the synthetic trace
+ * generator.
+ */
+
+#ifndef GAAS_STATS_DISTRIBUTION_HH
+#define GAAS_STATS_DISTRIBUTION_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gaas::stats
+{
+
+/**
+ * Running mean / variance / extrema of a scalar sample stream
+ * (Welford's online algorithm, numerically stable).
+ */
+class SampleStat
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n;
+        const double delta = x - mu;
+        mu += delta / static_cast<double>(n);
+        m2 += delta * (x - mu);
+        if (x < lo)
+            lo = x;
+        if (x > hi)
+            hi = x;
+    }
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        return n ? m2 / static_cast<double>(n) : 0.0;
+    }
+
+    double stddev() const;
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+
+    /** Merge another sample set into this one. */
+    void merge(const SampleStat &other);
+
+    /** Discard all samples. */
+    void reset() { *this = SampleStat{}; }
+
+  private:
+    std::uint64_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width bucketed histogram over [0, bucketWidth * bucketCount),
+ * with an overflow bucket; also tracks the SampleStat moments.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each bucket (> 0)
+     * @param bucket_count number of regular buckets (> 0)
+     */
+    Histogram(double bucket_width, std::size_t bucket_count);
+
+    /** Add one sample (negative samples count into bucket 0). */
+    void add(double x);
+
+    /** Count in regular bucket @p i. */
+    std::uint64_t bucket(std::size_t i) const { return counts.at(i); }
+
+    /** Count of samples beyond the last regular bucket. */
+    std::uint64_t overflow() const { return overflowCount; }
+
+    std::size_t bucketCount() const { return counts.size(); }
+    double bucketWidth() const { return width; }
+
+    const SampleStat &moments() const { return sample; }
+
+    /** Fraction of samples at or below @p x (empirical CDF). */
+    double cdf(double x) const;
+
+    /** Smallest bucket upper edge with CDF >= @p q (approximate
+     *  quantile; returns max edge if q is out of range). */
+    double quantile(double q) const;
+
+    void reset();
+
+  private:
+    double width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t overflowCount = 0;
+    SampleStat sample;
+};
+
+} // namespace gaas::stats
+
+#endif // GAAS_STATS_DISTRIBUTION_HH

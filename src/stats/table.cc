@@ -1,0 +1,168 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gaas::stats
+{
+
+Table::Table(std::vector<std::string> headers_)
+    : headers(std::move(headers_))
+{
+    if (headers.empty())
+        gaas_fatal("Table requires at least one column");
+}
+
+void
+Table::setTitle(std::string title_)
+{
+    title = std::move(title_);
+}
+
+Table &
+Table::newRow()
+{
+    if (!rows.empty() && rows.back().size() != headers.size()) {
+        gaas_panic("Table row has ", rows.back().size(),
+                   " cells, expected ", headers.size());
+    }
+    rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    if (rows.empty())
+        gaas_panic("Table::cell called before newRow");
+    if (rows.back().size() >= headers.size())
+        gaas_panic("Table row overflow: more cells than headers");
+    rows.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return cell(os.str());
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    if (!title.empty())
+        os << title << '\n';
+
+    auto rule = [&]() {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << std::string(widths[c] + 2, '-');
+            if (c + 1 < widths.size())
+                os << '+';
+        }
+        os << '\n';
+    };
+
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c] : "";
+            os << ' ' << std::setw(static_cast<int>(widths[c]))
+               << std::right << text << ' ';
+            if (c + 1 < headers.size())
+                os << '|';
+        }
+        os << '\n';
+    };
+
+    emitRow(headers);
+    rule();
+    for (const auto &row : rows)
+        emitRow(row);
+    os.flush();
+}
+
+namespace
+{
+
+/** Quote a CSV field if it contains separators or quotes. */
+std::string
+csvEscape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+        os << csvEscape(headers[c]);
+        if (c + 1 < headers.size())
+            os << ',';
+    }
+    os << '\n';
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < headers.size(); ++c) {
+            if (c < row.size())
+                os << csvEscape(row[c]);
+            if (c + 1 < headers.size())
+                os << ',';
+        }
+        os << '\n';
+    }
+}
+
+bool
+Table::writeCsv(const std::string &path) const
+{
+    std::error_code ec;
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+    std::ofstream out(path);
+    if (!out) {
+        warn("could not write CSV to ", path);
+        return false;
+    }
+    printCsv(out);
+    return static_cast<bool>(out);
+}
+
+} // namespace gaas::stats

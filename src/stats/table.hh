@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ASCII / CSV table formatting used by every bench binary.
+ *
+ * Each bench target regenerates one table or figure from the paper by
+ * printing the same rows/series the paper reports; Table gives them a
+ * single, consistent way to do that (aligned text to stdout plus a CSV
+ * file for plotting).
+ */
+
+#ifndef GAAS_STATS_TABLE_HH
+#define GAAS_STATS_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gaas::stats
+{
+
+/**
+ * A simple column-aligned table.
+ *
+ * Cells are stored as strings; numeric helpers format with a fixed
+ * precision so figures regenerate identically run to run.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Optional caption printed above the table. */
+    void setTitle(std::string title);
+
+    /** Start a new (empty) row; subsequent cell() calls fill it. */
+    Table &newRow();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &text);
+
+    /** Append an integer cell. */
+    Table &cell(std::uint64_t value);
+    Table &cell(int value);
+
+    /** Append a floating-point cell with @p precision digits. */
+    Table &cell(double value, int precision = 4);
+
+    /** Number of data rows so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+    /** Number of columns (fixed by the headers). */
+    std::size_t columnCount() const { return headers.size(); }
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (headers + rows). */
+    void printCsv(std::ostream &os) const;
+
+    /**
+     * Write the CSV rendering to @p path, creating parent directories
+     * if needed.  @return true on success (a failure is reported with
+     * warn() but is not fatal: the stdout rendering already happened).
+     */
+    bool writeCsv(const std::string &path) const;
+
+  private:
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace gaas::stats
+
+#endif // GAAS_STATS_TABLE_HH

@@ -1,0 +1,111 @@
+#include "benchmark.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gaas::synth
+{
+
+const char *
+arithClassTag(ArithClass c)
+{
+    switch (c) {
+      case ArithClass::Integer:
+        return "(I)";
+      case ArithClass::SingleFloat:
+        return "(S)";
+      case ArithClass::DoubleFloat:
+        return "(D)";
+    }
+    return "(?)";
+}
+
+SyntheticBenchmark::SyntheticBenchmark(BenchmarkSpec spec_)
+    : benchSpec(std::move(spec_)),
+      code(benchSpec.code, benchSpec.seed),
+      data(benchSpec.data, benchSpec.seed),
+      mixRng(benchSpec.seed ^ 0x5eed)
+{
+    if (benchSpec.loadFrac + benchSpec.storeFrac > 1.0) {
+        gaas_fatal("benchmark ", benchSpec.name,
+                   ": loadFrac + storeFrac exceeds 1");
+    }
+    if (benchSpec.simInstructions == 0)
+        gaas_fatal("benchmark ", benchSpec.name,
+                   ": simInstructions must be nonzero");
+}
+
+bool
+SyntheticBenchmark::next(trace::MemRef &ref)
+{
+    if (havePending) {
+        ref = pendingData;
+        havePending = false;
+        return true;
+    }
+    if (instructionsEmitted >= benchSpec.simInstructions)
+        return false;
+
+    ++instructionsEmitted;
+    ref.addr = code.nextPc();
+    ref.kind = trace::RefKind::Inst;
+    ref.partialWord = false;
+    ref.syscall =
+        mixRng.nextBernoulli(benchSpec.syscallsPerMInstr * 1e-6);
+
+    // At most one data reference per instruction (load/store
+    // architecture).  Stores come in word-sequential bursts (see
+    // DataParams::storeBurstMean); the burst-trigger probability is
+    // scaled down so the overall store fraction stays at storeFrac.
+    if (storeBurstLeft > 0) {
+        --storeBurstLeft;
+        storeBurstAddr += kWordBytes;
+        pendingData = trace::storeRef(storeBurstAddr, false);
+        havePending = true;
+        return true;
+    }
+
+    const double burst_mean =
+        std::max(benchSpec.data.storeBurstMean, 1.0);
+    const double store_trigger = benchSpec.storeFrac / burst_mean;
+    const double r = mixRng.nextDouble();
+    if (r < benchSpec.loadFrac) {
+        pendingData = trace::loadRef(data.nextLoad());
+        havePending = true;
+    } else if (r < benchSpec.loadFrac + store_trigger) {
+        const Addr addr = data.nextStore();
+        pendingData =
+            trace::storeRef(addr, data.nextStoreIsPartial());
+        havePending = true;
+        storeBurstAddr = addr;
+        storeBurstLeft = mixRng.nextGeometric(burst_mean) - 1;
+    }
+    return true;
+}
+
+void
+SyntheticBenchmark::reset()
+{
+    code.reset();
+    data.reset();
+    mixRng = Rng(benchSpec.seed ^ 0x5eed);
+    instructionsEmitted = 0;
+    havePending = false;
+    storeBurstLeft = 0;
+    storeBurstAddr = 0;
+}
+
+std::string
+SyntheticBenchmark::name() const
+{
+    return benchSpec.name;
+}
+
+std::unique_ptr<trace::TraceSource>
+makeBenchmark(const BenchmarkSpec &spec)
+{
+    return std::make_unique<SyntheticBenchmark>(spec);
+}
+
+} // namespace gaas::synth

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tunable parameters of the synthetic program models.
+ *
+ * The paper drove its simulator with pixie traces of real MIPS
+ * binaries (about 2.5 billion references).  We do not have those
+ * traces, so each benchmark is replaced by a parameterised synthetic
+ * program whose *statistical* behaviour -- instruction working-set
+ * hierarchy, data reuse-distance tail, reference mix -- is tuned to
+ * the same regime (see DESIGN.md, "Substitutions").
+ */
+
+#ifndef GAAS_SYNTH_PARAMS_HH
+#define GAAS_SYNTH_PARAMS_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace gaas::synth
+{
+
+/**
+ * Parameters of the synthetic instruction-stream model (CodeModel).
+ *
+ * A static program is generated once per benchmark: a DAG of
+ * procedures, each a nested structure of straight-line runs, loops,
+ * and calls.  Walking it yields an instruction-address stream with
+ * the usual hierarchy of working sets: hot inner loops, warmer outer
+ * loops, cold inter-procedural excursions.
+ */
+struct CodeParams
+{
+    /** Total static code footprint in words (controls how the L1-I /
+     *  L2-I miss ratio falls with cache size). */
+    std::uint64_t codeWords = 64 * 1024;
+
+    /** Number of procedures the code is divided into. */
+    unsigned procCount = 32;
+
+    /** Mean straight-line run (basic block) length in words. */
+    double meanRunLen = 8.0;
+
+    /** Maximum loop nesting depth inside one procedure. */
+    unsigned maxLoopDepth = 2;
+
+    /** Mean loop trip count (geometric). */
+    double meanLoopIters = 4.0;
+
+    /** Probability that the next structure item is a loop. */
+    double loopProb = 0.20;
+
+    /** Probability that the next structure item is a call. */
+    double callProb = 0.18;
+
+    /** Skew of call-target popularity (larger = hotter hot code). */
+    double callZipfAlpha = 0.6;
+
+    /**
+     * Phase-change probability, checked at each structure-item
+     * boundary: the walker abandons its call stack and restarts in a
+     * uniformly random procedure (the analogue of indirect calls,
+     * table dispatch, and phase shifts).  This is the direct lever
+     * on the instruction-stream working set: the nested-loop walk
+     * alone revisits code thousands of times before moving on, so
+     * without occasional jumps even a 400KB program would sit in one
+     * hot loop and never miss a 16KB I-cache.
+     */
+    double jumpProb = 0.004;
+
+    /**
+     * Skew of phase-change targets: jumps pick a procedure by a
+     * Pareto-ranked draw over a fixed random permutation of the
+     * procedures.  Most jumps land in a modest hot set -- scattered
+     * through the text image, so the hot procedures conflict in a
+     * direct-mapped I-cache the way real code does -- while the tail
+     * occasionally sweeps cold code.  This makes L1-I misses mostly
+     * *conflict* misses that a small L2-I absorbs (the paper's
+     * Fig. 7 curves are flat beyond 64KW), rather than capacity
+     * sweeps that defeat any L2-I size.
+     */
+    double jumpZipfAlpha = 0.65;
+};
+
+/**
+ * Parameters of the synthetic data-reference model (DataModel).
+ *
+ * Data addresses are drawn from four region models:
+ *  - stack: a random-walking stack pointer with accesses near the top
+ *    (very high locality; most stores of integer codes land here);
+ *  - globals: a small region with Zipf-skewed word popularity;
+ *  - arrays: strided sequential scans over large arrays (the FORTRAN
+ *    codes: matrix300, tomcatv, nasa7);
+ *  - heap: Pareto-popular line draws over a large footprint (pointer
+ *    chasing in gcc/espresso/lisp); the heavy tail is what keeps the
+ *    L2-D miss ratio falling out to 512KW+, as in Fig. 8 / Table 2.
+ */
+struct DataParams
+{
+    /** @name Region sizes (words) */
+    ///@{
+    std::uint64_t stackWords = 4 * 1024;
+    std::uint64_t globalWords = 16 * 1024;
+    std::uint64_t heapWords = 1024 * 1024;
+    std::uint64_t arrayWords = 256 * 1024;  //!< per array
+    unsigned arrayCount = 4;
+    ///@}
+
+    /** @name Region selection probabilities for loads
+     *  (must sum to <= 1; remainder goes to the heap). */
+    ///@{
+    double loadStackFrac = 0.25;
+    double loadGlobalFrac = 0.15;
+    double loadArrayFrac = 0.25;
+    ///@}
+
+    /** @name Region selection probabilities for stores */
+    ///@{
+    double storeStackFrac = 0.50;
+    double storeGlobalFrac = 0.15;
+    double storeArrayFrac = 0.15;
+    ///@}
+
+    /** Zipf/Pareto shape of global-word popularity. */
+    double globalAlpha = 1.2;
+
+    /** Pareto shape of heap line popularity (smaller = bigger
+     *  effective working set). */
+    double heapAlpha = 0.9;
+
+    /** Array scan stride in words (1 = unit stride). */
+    unsigned arrayStrideWords = 1;
+
+    /**
+     * Blocked-reuse scan: each array is walked one *segment* at a
+     * time (a row, say), and the segment is re-scanned
+     * arraySegRepeats times before the walk advances -- the way a
+     * matrix-multiply inner loop reuses one row across the whole
+     * j-loop.  Repeats create the L1/L2 reuse real array codes have;
+     * plain streaming (repeats = 1) would sweep the caches and
+     * swamp L2 with misses.
+     */
+    unsigned arraySegWords = 512;
+
+    /** Times each segment is re-scanned before advancing. */
+    unsigned arraySegRepeats = 8;
+
+    /** Words per heap "line" for popularity draws (spatial locality
+     *  granule; typically the L1 line size). */
+    unsigned heapLineWords = 4;
+
+    /** Probability a store writes less than a full word. */
+    double partialWordStoreFrac = 0.06;
+
+    /**
+     * Mean length of a store burst.  Real code writes in
+     * word-sequential runs -- register saves at procedure entry,
+     * struct initialisation, buffer fills -- so stores are emitted
+     * in geometric bursts of consecutive word addresses.  Bursts are
+     * what let a write-miss line absorb the following writes (the
+     * mechanism behind the write-only policy and subblock placement,
+     * Section 6) and what load up the write buffer (the write-policy
+     * trade-off of Fig. 5).  The overall store fraction is
+     * preserved: bursts trigger at storeFrac / storeBurstMean.
+     */
+    double storeBurstMean = 3.0;
+
+    /** Probability an access re-touches the previous data address's
+     *  line (models register-starved back-to-back accesses). */
+    double sameLineBurstProb = 0.15;
+};
+
+/** Virtual-address layout constants shared by the models. */
+namespace layout
+{
+/** Text segment base (mirrors the MIPS convention). */
+inline constexpr Addr kTextBase = 0x0040'0000;
+/** Static data / globals base. */
+inline constexpr Addr kGlobalBase = 0x1000'0000;
+/** Heap base. */
+inline constexpr Addr kHeapBase = 0x2000'0000;
+/** Array (large static data) base. */
+inline constexpr Addr kArrayBase = 0x4000'0000;
+/** Stack top (grows down). */
+inline constexpr Addr kStackTop = 0x7fff'0000;
+} // namespace layout
+
+} // namespace gaas::synth
+
+#endif // GAAS_SYNTH_PARAMS_HH

@@ -1,0 +1,196 @@
+#include "compose.hh"
+
+#include "util/logging.hh"
+
+namespace gaas::trace
+{
+
+const char *
+refKindName(RefKind kind)
+{
+    switch (kind) {
+      case RefKind::Inst:
+        return "inst";
+      case RefKind::Load:
+        return "load";
+      case RefKind::Store:
+        return "store";
+    }
+    return "unknown";
+}
+
+std::vector<MemRef>
+collect(TraceSource &src, std::size_t limit)
+{
+    std::vector<MemRef> out;
+    out.reserve(limit);
+    MemRef ref;
+    while (out.size() < limit && src.next(ref))
+        out.push_back(ref);
+    return out;
+}
+
+LimitSource::LimitSource(std::unique_ptr<TraceSource> inner_,
+                         std::size_t limit_)
+    : inner(std::move(inner_)), limit(limit_)
+{
+    if (!inner)
+        gaas_fatal("LimitSource requires an inner source");
+}
+
+bool
+LimitSource::next(MemRef &ref)
+{
+    if (produced >= limit)
+        return false;
+    if (!inner->next(ref))
+        return false;
+    ++produced;
+    return true;
+}
+
+void
+LimitSource::reset()
+{
+    inner->reset();
+    produced = 0;
+}
+
+std::string
+LimitSource::name() const
+{
+    return inner->name() + "[:" + std::to_string(limit) + "]";
+}
+
+LoopSource::LoopSource(std::unique_ptr<TraceSource> inner_)
+    : inner(std::move(inner_))
+{
+    if (!inner)
+        gaas_fatal("LoopSource requires an inner source");
+}
+
+bool
+LoopSource::next(MemRef &ref)
+{
+    if (inner->next(ref))
+        return true;
+    inner->reset();
+    ++wrapCount;
+    return inner->next(ref);
+}
+
+void
+LoopSource::reset()
+{
+    inner->reset();
+    wrapCount = 0;
+}
+
+std::string
+LoopSource::name() const
+{
+    return inner->name() + "[loop]";
+}
+
+ConcatSource::ConcatSource(
+    std::vector<std::unique_ptr<TraceSource>> parts_)
+    : parts(std::move(parts_))
+{
+    for (const auto &p : parts) {
+        if (!p)
+            gaas_fatal("ConcatSource given a null part");
+    }
+}
+
+bool
+ConcatSource::next(MemRef &ref)
+{
+    while (current < parts.size()) {
+        if (parts[current]->next(ref))
+            return true;
+        ++current;
+    }
+    return false;
+}
+
+void
+ConcatSource::reset()
+{
+    for (auto &p : parts)
+        p->reset();
+    current = 0;
+}
+
+std::string
+ConcatSource::name() const
+{
+    std::string out = "concat(";
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += ',';
+        out += parts[i]->name();
+    }
+    out += ')';
+    return out;
+}
+
+double
+RefMix::loadFraction() const
+{
+    return instructions ? static_cast<double>(loads) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+}
+
+double
+RefMix::storeFraction() const
+{
+    return instructions ? static_cast<double>(stores) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+}
+
+MixSource::MixSource(std::unique_ptr<TraceSource> inner_)
+    : inner(std::move(inner_))
+{
+    if (!inner)
+        gaas_fatal("MixSource requires an inner source");
+}
+
+bool
+MixSource::next(MemRef &ref)
+{
+    if (!inner->next(ref))
+        return false;
+    switch (ref.kind) {
+      case RefKind::Inst:
+        ++counts.instructions;
+        if (ref.syscall)
+            ++counts.syscalls;
+        break;
+      case RefKind::Load:
+        ++counts.loads;
+        break;
+      case RefKind::Store:
+        ++counts.stores;
+        if (ref.partialWord)
+            ++counts.partialWordStores;
+        break;
+    }
+    return true;
+}
+
+void
+MixSource::reset()
+{
+    inner->reset();
+    counts = RefMix{};
+}
+
+std::string
+MixSource::name() const
+{
+    return inner->name();
+}
+
+} // namespace gaas::trace

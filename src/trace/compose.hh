@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Composable adapters over TraceSource: truncation, looping,
+ * concatenation, and reference-mix accounting.
+ */
+
+#ifndef GAAS_TRACE_COMPOSE_HH
+#define GAAS_TRACE_COMPOSE_HH
+
+#include <memory>
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace gaas::trace
+{
+
+/** Truncate an underlying source after a fixed number of records. */
+class LimitSource : public TraceSource
+{
+  public:
+    LimitSource(std::unique_ptr<TraceSource> inner, std::size_t limit);
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    std::unique_ptr<TraceSource> inner;
+    std::size_t limit;
+    std::size_t produced = 0;
+};
+
+/**
+ * Restart the underlying source whenever it is exhausted, so a finite
+ * trace can fill an arbitrarily long simulation (the scaled-down
+ * analogue of the paper's restart-the-next-benchmark rule).
+ *
+ * next() only returns false if the inner source is empty even after a
+ * reset, which guards against infinite loops on empty traces.
+ */
+class LoopSource : public TraceSource
+{
+  public:
+    explicit LoopSource(std::unique_ptr<TraceSource> inner);
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+    std::string name() const override;
+
+    /** How many times the inner trace has been restarted. */
+    std::uint64_t wraps() const { return wrapCount; }
+
+  private:
+    std::unique_ptr<TraceSource> inner;
+    std::uint64_t wrapCount = 0;
+};
+
+/** Play several sources back to back. */
+class ConcatSource : public TraceSource
+{
+  public:
+    explicit ConcatSource(
+        std::vector<std::unique_ptr<TraceSource>> parts);
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    std::vector<std::unique_ptr<TraceSource>> parts;
+    std::size_t current = 0;
+};
+
+/** Reference-mix counters gathered by MixSource (Table 1 columns). */
+struct RefMix
+{
+    Count instructions = 0;
+    Count loads = 0;
+    Count stores = 0;
+    Count syscalls = 0;
+    Count partialWordStores = 0;
+
+    Count total() const { return instructions + loads + stores; }
+
+    /** Loads as a fraction of instructions (Table 1 "% of inst."). */
+    double loadFraction() const;
+
+    /** Stores as a fraction of instructions. */
+    double storeFraction() const;
+};
+
+/** Pass-through adapter that tallies the reference mix. */
+class MixSource : public TraceSource
+{
+  public:
+    explicit MixSource(std::unique_ptr<TraceSource> inner);
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+    std::string name() const override;
+
+    const RefMix &mix() const { return counts; }
+
+  private:
+    std::unique_ptr<TraceSource> inner;
+    RefMix counts;
+};
+
+} // namespace gaas::trace
+
+#endif // GAAS_TRACE_COMPOSE_HH

@@ -1,0 +1,232 @@
+#include "file.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace gaas::trace
+{
+
+namespace
+{
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
+constexpr std::size_t kBufferRecords = 64 * 1024;
+
+void
+putU32(unsigned char *dst, std::uint32_t v)
+{
+    dst[0] = static_cast<unsigned char>(v);
+    dst[1] = static_cast<unsigned char>(v >> 8);
+    dst[2] = static_cast<unsigned char>(v >> 16);
+    dst[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void
+putU64(unsigned char *dst, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        dst[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t
+getU32(const unsigned char *src)
+{
+    return static_cast<std::uint32_t>(src[0]) |
+           static_cast<std::uint32_t>(src[1]) << 8 |
+           static_cast<std::uint32_t>(src[2]) << 16 |
+           static_cast<std::uint32_t>(src[3]) << 24;
+}
+
+std::uint64_t
+getU64(const unsigned char *src)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | src[i];
+    return v;
+}
+
+unsigned char
+packMeta(const MemRef &ref)
+{
+    auto meta = static_cast<unsigned char>(ref.kind);
+    if (ref.syscall)
+        meta |= 0x04;
+    if (ref.partialWord)
+        meta |= 0x08;
+    return meta;
+}
+
+MemRef
+unpackRecord(const unsigned char *bytes)
+{
+    MemRef ref;
+    ref.addr = getU64(bytes);
+    const unsigned char meta = bytes[8];
+    const unsigned kind = meta & 0x03;
+    if (kind > 2)
+        gaas_fatal("trace record has invalid kind ", kind);
+    ref.kind = static_cast<RefKind>(kind);
+    ref.syscall = (meta & 0x04) != 0;
+    ref.partialWord = (meta & 0x08) != 0;
+    return ref;
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path_)
+    : path(path_)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        gaas_fatal("cannot open trace file for writing: ", path);
+    buffer.reserve(kBufferRecords * kTraceRecordBytes);
+    // Placeholder header; the count is patched on close().
+    unsigned char header[kHeaderBytes];
+    putU32(header, kTraceMagic);
+    putU32(header + 4, kTraceVersion);
+    putU64(header + 8, 0);
+    if (std::fwrite(header, 1, kHeaderBytes, file) != kHeaderBytes)
+        gaas_fatal("short write on trace header: ", path);
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    try {
+        close();
+    } catch (const FatalError &err) {
+        warn("trace writer close failed: ", err.what());
+    }
+}
+
+void
+TraceFileWriter::write(const MemRef &ref)
+{
+    if (!file)
+        gaas_panic("write on closed TraceFileWriter");
+    unsigned char rec[kTraceRecordBytes];
+    putU64(rec, ref.addr);
+    rec[8] = packMeta(ref);
+    buffer.insert(buffer.end(), rec, rec + kTraceRecordBytes);
+    ++count;
+    if (buffer.size() >= kBufferRecords * kTraceRecordBytes)
+        flushBuffer();
+}
+
+std::uint64_t
+TraceFileWriter::writeAll(TraceSource &src)
+{
+    MemRef ref;
+    std::uint64_t n = 0;
+    while (src.next(ref)) {
+        write(ref);
+        ++n;
+    }
+    return n;
+}
+
+void
+TraceFileWriter::flushBuffer()
+{
+    if (buffer.empty())
+        return;
+    if (std::fwrite(buffer.data(), 1, buffer.size(), file) !=
+        buffer.size()) {
+        gaas_fatal("short write on trace file: ", path);
+    }
+    buffer.clear();
+}
+
+void
+TraceFileWriter::close()
+{
+    if (!file)
+        return;
+    flushBuffer();
+    // Patch the record count into the header.
+    unsigned char countBytes[8];
+    putU64(countBytes, count);
+    bool ok = std::fseek(file, 8, SEEK_SET) == 0 &&
+              std::fwrite(countBytes, 1, 8, file) == 8;
+    ok = std::fclose(file) == 0 && ok;
+    file = nullptr;
+    if (!ok)
+        gaas_fatal("error finalising trace file: ", path);
+}
+
+TraceFileReader::TraceFileReader(const std::string &path_)
+    : path(path_)
+{
+    file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        gaas_fatal("cannot open trace file: ", path);
+    buffer.resize(kBufferRecords * kTraceRecordBytes);
+    readHeader();
+}
+
+TraceFileReader::~TraceFileReader()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+TraceFileReader::readHeader()
+{
+    unsigned char header[kHeaderBytes];
+    if (std::fread(header, 1, kHeaderBytes, file) != kHeaderBytes)
+        gaas_fatal("trace file too short: ", path);
+    if (getU32(header) != kTraceMagic)
+        gaas_fatal("bad magic in trace file: ", path);
+    const std::uint32_t version = getU32(header + 4);
+    if (version != kTraceVersion) {
+        gaas_fatal("unsupported trace version ", version, " in ",
+                   path);
+    }
+    total = getU64(header + 8);
+}
+
+bool
+TraceFileReader::fillBuffer()
+{
+    bufLen = std::fread(buffer.data(), 1, buffer.size(), file);
+    bufPos = 0;
+    if (bufLen % kTraceRecordBytes != 0)
+        gaas_fatal("truncated record in trace file: ", path);
+    return bufLen > 0;
+}
+
+bool
+TraceFileReader::next(MemRef &ref)
+{
+    if (consumed >= total)
+        return false;
+    if (bufPos >= bufLen && !fillBuffer()) {
+        gaas_fatal("trace file ", path, " ended after ", consumed,
+                   " of ", total, " records");
+    }
+    ref = unpackRecord(buffer.data() + bufPos);
+    bufPos += kTraceRecordBytes;
+    ++consumed;
+    return true;
+}
+
+void
+TraceFileReader::reset()
+{
+    if (std::fseek(file, static_cast<long>(kHeaderBytes), SEEK_SET) !=
+        0) {
+        gaas_fatal("cannot rewind trace file: ", path);
+    }
+    bufPos = bufLen = 0;
+    consumed = 0;
+}
+
+std::string
+TraceFileReader::name() const
+{
+    return path;
+}
+
+} // namespace gaas::trace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Binary trace file reader/writer -- the on-disk analogue of a pixie
+ * address trace.
+ *
+ * Format (little endian):
+ *   header: magic "GTRC" (4 bytes), version u32, record count u64
+ *   records: addr u64, meta u8
+ *     meta bits [1:0] = RefKind, bit 2 = syscall, bit 3 = partialWord
+ *
+ * The record count in the header is written on close; a reader treats
+ * a mismatch as file corruption.
+ */
+
+#ifndef GAAS_TRACE_FILE_HH
+#define GAAS_TRACE_FILE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace gaas::trace
+{
+
+/** Magic bytes at the start of every trace file. */
+inline constexpr std::uint32_t kTraceMagic = 0x43525447; // "GTRC"
+
+/** Current trace file format version. */
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/** Bytes per on-disk record (u64 addr + u8 meta). */
+inline constexpr std::size_t kTraceRecordBytes = 9;
+
+/** Streaming writer; flushes and finalises the header on close. */
+class TraceFileWriter
+{
+  public:
+    /** Open @p path for writing; throws FatalError on failure. */
+    explicit TraceFileWriter(const std::string &path);
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    ~TraceFileWriter();
+
+    /** Append one record. */
+    void write(const MemRef &ref);
+
+    /** Drain @p src into the file; @return records written. */
+    std::uint64_t writeAll(TraceSource &src);
+
+    /** Finalise the header and close; implied by the destructor. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return count; }
+
+  private:
+    void flushBuffer();
+
+    std::string path;
+    std::FILE *file = nullptr;
+    std::vector<unsigned char> buffer;
+    std::uint64_t count = 0;
+};
+
+/** Streaming reader implementing TraceSource (resettable). */
+class TraceFileReader : public TraceSource
+{
+  public:
+    /** Open @p path; throws FatalError if missing or malformed. */
+    explicit TraceFileReader(const std::string &path);
+
+    TraceFileReader(const TraceFileReader &) = delete;
+    TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+    ~TraceFileReader() override;
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Total records the header promises. */
+    std::uint64_t recordCount() const { return total; }
+
+  private:
+    void readHeader();
+    bool fillBuffer();
+
+    std::string path;
+    std::FILE *file = nullptr;
+    std::vector<unsigned char> buffer;
+    std::size_t bufPos = 0;
+    std::size_t bufLen = 0;
+    std::uint64_t total = 0;
+    std::uint64_t consumed = 0;
+};
+
+} // namespace gaas::trace
+
+#endif // GAAS_TRACE_FILE_HH

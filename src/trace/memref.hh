@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The memory-reference record produced by trace sources and consumed
+ * by the cache simulator.
+ *
+ * This is the analogue of one line of a `pixie` address trace: either
+ * an instruction-fetch address or a data load/store address.  In the
+ * stream, an Inst record begins a new instruction; any Load/Store
+ * records that follow (before the next Inst) belong to it.
+ */
+
+#ifndef GAAS_TRACE_MEMREF_HH
+#define GAAS_TRACE_MEMREF_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace gaas::trace
+{
+
+/** What kind of memory reference a record describes. */
+enum class RefKind : std::uint8_t {
+    Inst = 0,  //!< instruction fetch
+    Load = 1,  //!< data read
+    Store = 2, //!< data write
+};
+
+/** @return a short human-readable name for @p kind. */
+const char *refKindName(RefKind kind);
+
+/** One traced memory reference. */
+struct MemRef
+{
+    /** Virtual byte address (word aligned; no PID prefix -- the
+     *  workload layer assigns PIDs when processes are created). */
+    Addr addr = 0;
+
+    RefKind kind = RefKind::Inst;
+
+    /** True on an Inst record that is a voluntary system call; the
+     *  scheduler forces a context switch after it (the paper's
+     *  "system call file" mechanism, Section 3). */
+    bool syscall = false;
+
+    /** True on a Store that writes less than a full 32-bit word.
+     *  Partial-word writes do not set valid bits under subblock
+     *  placement (Section 6). */
+    bool partialWord = false;
+
+    bool isInst() const { return kind == RefKind::Inst; }
+    bool isLoad() const { return kind == RefKind::Load; }
+    bool isStore() const { return kind == RefKind::Store; }
+    bool isData() const { return kind != RefKind::Inst; }
+
+    bool
+    operator==(const MemRef &other) const
+    {
+        return addr == other.addr && kind == other.kind &&
+               syscall == other.syscall &&
+               partialWord == other.partialWord;
+    }
+};
+
+/** Convenience factories used throughout the tests. */
+inline MemRef
+instRef(Addr addr, bool syscall = false)
+{
+    return MemRef{addr, RefKind::Inst, syscall, false};
+}
+
+inline MemRef
+loadRef(Addr addr)
+{
+    return MemRef{addr, RefKind::Load, false, false};
+}
+
+inline MemRef
+storeRef(Addr addr, bool partial_word = false)
+{
+    return MemRef{addr, RefKind::Store, false, partial_word};
+}
+
+} // namespace gaas::trace
+
+#endif // GAAS_TRACE_MEMREF_HH

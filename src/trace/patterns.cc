@@ -1,0 +1,138 @@
+#include "patterns.hh"
+
+#include "util/logging.hh"
+
+namespace gaas::trace
+{
+
+SequentialPattern::SequentialPattern(const Params &params_)
+    : params(params_)
+{
+    if (params.instFootprintWords == 0)
+        gaas_fatal("SequentialPattern needs a code footprint");
+    if (params.instructions == 0)
+        gaas_fatal("SequentialPattern needs instructions");
+}
+
+bool
+SequentialPattern::next(MemRef &ref)
+{
+    if (pendingData) {
+        pendingData = false;
+        const Addr addr =
+            params.dataBase + wordsToBytes(dataCursor);
+        dataCursor = (dataCursor + 1) % params.dataFootprintWords;
+        ++dataCount;
+        const bool store = params.storeEvery &&
+                           (dataCount % params.storeEvery == 0);
+        ref = store ? storeRef(addr) : loadRef(addr);
+        return true;
+    }
+    if (emitted >= params.instructions)
+        return false;
+    ++emitted;
+    ref = instRef(params.instBase + wordsToBytes(instCursor));
+    instCursor = (instCursor + 1) % params.instFootprintWords;
+    pendingData = params.dataFootprintWords > 0;
+    return true;
+}
+
+void
+SequentialPattern::reset()
+{
+    emitted = 0;
+    instCursor = dataCursor = 0;
+    dataCount = 0;
+    pendingData = false;
+}
+
+std::string
+SequentialPattern::name() const
+{
+    return "sequential";
+}
+
+ConflictPattern::ConflictPattern(const Params &params_)
+    : params(params_)
+{
+    if (params.ways == 0)
+        gaas_fatal("ConflictPattern needs at least one way");
+}
+
+bool
+ConflictPattern::next(MemRef &ref)
+{
+    if (pendingData) {
+        pendingData = false;
+        const Addr addr =
+            params.base + params.strideBytes * cursor;
+        cursor = (cursor + 1) % params.ways;
+        ref = params.stores ? storeRef(addr) : loadRef(addr);
+        return true;
+    }
+    if (emitted >= params.instructions)
+        return false;
+    ++emitted;
+    // A fixed single-line instruction stream keeps the I-side quiet.
+    ref = instRef(0x0040'0000);
+    pendingData = true;
+    return true;
+}
+
+void
+ConflictPattern::reset()
+{
+    emitted = 0;
+    cursor = 0;
+    pendingData = false;
+}
+
+std::string
+ConflictPattern::name() const
+{
+    return "conflict";
+}
+
+RandomPattern::RandomPattern(const Params &params_)
+    : params(params_), rng(params_.seed)
+{
+    if (params.footprintWords == 0)
+        gaas_fatal("RandomPattern needs a footprint");
+}
+
+bool
+RandomPattern::next(MemRef &ref)
+{
+    if (pendingData) {
+        pendingData = false;
+        ref = pending;
+        return true;
+    }
+    if (emitted >= params.instructions)
+        return false;
+    ++emitted;
+    ref = instRef(0x0040'0000);
+    const Addr addr =
+        params.dataBase +
+        wordsToBytes(rng.nextBounded(params.footprintWords));
+    pending = rng.nextBernoulli(params.storeFrac) ? storeRef(addr)
+                                                  : loadRef(addr);
+    pendingData = true;
+    return true;
+}
+
+void
+RandomPattern::reset()
+{
+    rng = Rng(params.seed);
+    emitted = 0;
+    pendingData = false;
+}
+
+std::string
+RandomPattern::name() const
+{
+    return "random";
+}
+
+} // namespace gaas::trace

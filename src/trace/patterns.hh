@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Directed-test trace patterns with closed-form cache behaviour.
+ *
+ * In the spirit of gem5's directed testers, these sources generate
+ * reference streams whose miss ratios can be computed by hand, so
+ * the test suite can pin the simulator's timing and replacement
+ * logic against exact expectations (a sequential sweep larger than
+ * the cache misses once per line; a ping-pong across one set misses
+ * every time in a direct-mapped cache; uniform random traffic over a
+ * resident footprint converges to zero misses; ...).
+ */
+
+#ifndef GAAS_TRACE_PATTERNS_HH
+#define GAAS_TRACE_PATTERNS_HH
+
+#include <string>
+
+#include "trace/source.hh"
+#include "util/random.hh"
+
+namespace gaas::trace
+{
+
+/**
+ * Instructions sweeping [base, base + footprint) word by word,
+ * wrapping around, for a fixed number of instructions.  Optionally
+ * each instruction carries a load walking a second region the same
+ * way.
+ */
+class SequentialPattern : public TraceSource
+{
+  public:
+    struct Params
+    {
+        Addr instBase = 0x0040'0000;
+        std::uint64_t instFootprintWords = 16 * 1024;
+        /** 0 = no data references. */
+        std::uint64_t dataFootprintWords = 0;
+        Addr dataBase = 0x1000'0000;
+        /** Emit a store instead of a load every Nth data reference
+         *  (0 = loads only). */
+        unsigned storeEvery = 0;
+        Count instructions = 100'000;
+    };
+
+    explicit SequentialPattern(const Params &params);
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    Params params;
+    Count emitted = 0;
+    std::uint64_t instCursor = 0;
+    std::uint64_t dataCursor = 0;
+    Count dataCount = 0;
+    bool pendingData = false;
+};
+
+/**
+ * A ping-pong between N addresses that map to the same set of a
+ * direct-mapped cache of the given size: every access misses once
+ * N exceeds the associativity.
+ */
+class ConflictPattern : public TraceSource
+{
+  public:
+    struct Params
+    {
+        Addr base = 0x1000'0000;
+        /** The conflicting addresses are spaced this many bytes
+         *  apart (use the cache's size in bytes for a direct-mapped
+         *  conflict set). */
+        std::uint64_t strideBytes = 16 * 1024;
+        unsigned ways = 2;         //!< how many conflicting lines
+        Count instructions = 10'000;
+        bool stores = false;       //!< emit stores instead of loads
+    };
+
+    explicit ConflictPattern(const Params &params);
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    Params params;
+    Count emitted = 0;
+    unsigned cursor = 0;
+    bool pendingData = false;
+};
+
+/**
+ * Uniform random word accesses over a fixed footprint: once the
+ * footprint is cache-resident the miss ratio converges to zero; for
+ * footprints beyond the cache it converges to the capacity ratio.
+ */
+class RandomPattern : public TraceSource
+{
+  public:
+    struct Params
+    {
+        Addr dataBase = 0x1000'0000;
+        std::uint64_t footprintWords = 64 * 1024;
+        Count instructions = 100'000;
+        double storeFrac = 0.0;
+        std::uint64_t seed = 1;
+    };
+
+    explicit RandomPattern(const Params &params);
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    Params params;
+    Rng rng;
+    Count emitted = 0;
+    bool pendingData = false;
+    MemRef pending;
+};
+
+} // namespace gaas::trace
+
+#endif // GAAS_TRACE_PATTERNS_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The TraceSource interface: a resettable stream of MemRef records.
+ *
+ * The paper's "file descriptor multiplexor" mapped each benchmark's
+ * pixie output to one input descriptor of the cache simulator; here
+ * each benchmark (synthetic model or trace file) is one TraceSource
+ * and the workload layer multiplexes among them.
+ */
+
+#ifndef GAAS_TRACE_SOURCE_HH
+#define GAAS_TRACE_SOURCE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/memref.hh"
+
+namespace gaas::trace
+{
+
+/** An abstract, resettable stream of memory references. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next reference.
+     *
+     * @param ref filled in on success
+     * @retval true a record was produced
+     * @retval false the trace is exhausted (ref is unchanged)
+     */
+    virtual bool next(MemRef &ref) = 0;
+
+    /** Restart the stream from its beginning (deterministically). */
+    virtual void reset() = 0;
+
+    /** A short name for diagnostics and reports. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * An in-memory trace, mainly for unit tests and for capturing short
+ * generator outputs for inspection.
+ */
+class VectorSource : public TraceSource
+{
+  public:
+    VectorSource(std::string name, std::vector<MemRef> refs)
+        : label(std::move(name)), records(std::move(refs))
+    {}
+
+    bool
+    next(MemRef &ref) override
+    {
+        if (pos >= records.size())
+            return false;
+        ref = records[pos++];
+        return true;
+    }
+
+    void reset() override { pos = 0; }
+
+    std::string name() const override { return label; }
+
+    const std::vector<MemRef> &refs() const { return records; }
+
+  private:
+    std::string label;
+    std::vector<MemRef> records;
+    std::size_t pos = 0;
+};
+
+/** Drain up to @p limit records from @p src into a vector. */
+std::vector<MemRef> collect(TraceSource &src, std::size_t limit);
+
+} // namespace gaas::trace
+
+#endif // GAAS_TRACE_SOURCE_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the synthetic
+ * workload generator.
+ *
+ * Reproducibility is a hard requirement: every figure in
+ * EXPERIMENTS.md must regenerate bit-identically from a fixed seed, so
+ * the generator is a self-contained xoshiro256** implementation (we do
+ * not rely on std::mt19937 distribution objects, whose outputs are not
+ * pinned down by the standard).
+ */
+
+#ifndef GAAS_UTIL_RANDOM_HH
+#define GAAS_UTIL_RANDOM_HH
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace gaas
+{
+
+/**
+ * xoshiro256** pseudo-random generator with SplitMix64 seeding.
+ *
+ * Passes BigCrush; period 2^256 - 1; each instance is seeded from a
+ * single 64-bit value so benchmark specs can carry one seed.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** @return the next raw 64-bit draw. */
+    std::uint64_t next64();
+
+    /** @return a uniform draw in [0, bound); bound must be nonzero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    nextRange(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        nextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability @p p. */
+    bool
+    nextBernoulli(double p)
+    {
+        return nextDouble() < p;
+    }
+
+    /**
+     * Geometric draw with mean @p mean (support {1, 2, ...}).
+     *
+     * Used for basic-block lengths and loop trip counts, which the
+     * code model treats as geometrically distributed around the
+     * per-benchmark average.
+     */
+    std::uint64_t nextGeometric(double mean);
+
+    /**
+     * Bounded Pareto-tail draw over [0, bound): returns an index whose
+     * probability decays as a power law with shape @p alpha.
+     *
+     * This is the workhorse of the data-reference model: drawing a
+     * "line popularity rank" from a heavy-tailed distribution gives
+     * address streams whose miss ratio keeps improving with cache size
+     * over several orders of magnitude -- the behaviour Table 2 of the
+     * paper shows for the L2 sweep.  Smaller alpha = heavier tail =
+     * a larger working set.
+     */
+    std::uint64_t nextParetoIndex(double alpha, std::uint64_t bound);
+
+    /**
+     * Pick an index from a small table of cumulative weights
+     * (cumulative[i] is the inclusive upper edge of class i, with
+     * cumulative.back() == 1.0).
+     */
+    unsigned pickCumulative(std::span<const double> cumulative);
+
+  private:
+    std::array<std::uint64_t, 4> state;
+};
+
+/**
+ * Bresenham-style accumulator that converts a fractional per-event
+ * cost into a deterministic integer sequence.
+ *
+ * The CPU-stall component of CPI (loads, branch delays, multi-cycle
+ * FP ops) averages 0.238 cycles per instruction in the paper's base
+ * machine.  Instead of accumulating a float (whose rounding would make
+ * cycle counts depend on summation order) each instruction charges
+ * either floor(rate) or floor(rate)+1 cycles such that the long-run
+ * average is exactly @p rate.
+ */
+class FractionAccumulator
+{
+  public:
+    /** @param rate average cycles per event; must be >= 0. */
+    explicit FractionAccumulator(double rate = 0.0) { setRate(rate); }
+
+    /** Change the per-event rate (resets the residue). */
+    void
+    setRate(double rate)
+    {
+        whole = static_cast<std::uint64_t>(rate);
+        // Fixed-point residue in units of 2^-32.
+        frac = static_cast<std::uint64_t>(
+            (rate - static_cast<double>(whole)) * 4294967296.0);
+        residue = 0;
+    }
+
+    /** Charge one event; @return the integer cycles for this event. */
+    std::uint64_t
+    tick()
+    {
+        residue += frac;
+        std::uint64_t carry = residue >> 32;
+        residue &= 0xffffffffull;
+        return whole + carry;
+    }
+
+    /** Reset the fractional residue (e.g. at a measurement boundary). */
+    void
+    reset()
+    {
+        residue = 0;
+    }
+
+  private:
+    std::uint64_t whole = 0;
+    std::uint64_t frac = 0;     //!< fractional part, Q32
+    std::uint64_t residue = 0;  //!< running residue, Q32
+};
+
+} // namespace gaas
+
+#endif // GAAS_UTIL_RANDOM_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fundamental scalar types and machine constants for the GaAs
+ * microprocessor cache study.
+ *
+ * The paper (Olukotun, Mudge & Brown, ISCA 1991) quotes all capacities
+ * in 32-bit *words* (e.g. "4KW (16KB)"); this header provides the
+ * conversion helpers so the rest of the code can mirror the paper's
+ * units while operating on byte addresses internally.
+ */
+
+#ifndef GAAS_UTIL_TYPES_HH
+#define GAAS_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace gaas
+{
+
+/** A byte address. Virtual addresses carry an 8-bit PID prefix in the
+ *  bits above kVaddrBits (see mmu/AddressSpace). */
+using Addr = std::uint64_t;
+
+/** A count of CPU clock cycles (the machine runs at 250 MHz, so one
+ *  cycle is 4 ns; the simulator never needs wall-clock time). */
+using Cycles = std::uint64_t;
+
+/** A count of instructions, references, or other events. */
+using Count = std::uint64_t;
+
+/** Process identifier. The architecture prefixes virtual addresses
+ *  with an 8-bit PID so caches and TLBs need not be flushed on a
+ *  context switch (Section 3 of the paper). */
+using Pid = std::uint8_t;
+
+/** Bytes per 32-bit machine word. */
+inline constexpr unsigned kWordBytes = 4;
+
+/** log2(kWordBytes), for shifting between word and byte addresses. */
+inline constexpr unsigned kWordShift = 2;
+
+/** The target machine's page size: 4 K words = 16 KB (Section 2). */
+inline constexpr unsigned kPageWords = 4 * 1024;
+
+/** Page size in bytes. */
+inline constexpr unsigned kPageBytes = kPageWords * kWordBytes;
+
+/** Number of virtual-address bits below the PID prefix. */
+inline constexpr unsigned kVaddrBits = 32;
+
+/** Number of PID bits prefixed to virtual addresses (Section 2). */
+inline constexpr unsigned kPidBits = 8;
+
+/** Convert a capacity in words to bytes. */
+constexpr std::uint64_t
+wordsToBytes(std::uint64_t words)
+{
+    return words * kWordBytes;
+}
+
+/** Convert a capacity in bytes to words (truncating). */
+constexpr std::uint64_t
+bytesToWords(std::uint64_t bytes)
+{
+    return bytes / kWordBytes;
+}
+
+/** Shorthand for capacities quoted in kilowords, e.g. kw(4) == 4KW. */
+constexpr std::uint64_t
+kw(std::uint64_t kilo_words)
+{
+    return kilo_words * 1024;
+}
+
+} // namespace gaas
+
+#endif // GAAS_UTIL_TYPES_HH

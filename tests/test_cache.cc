@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Unit tests for the cache substrate: CacheConfig validation and
+ * TagStore lookup/replacement/state behaviour, including
+ * parameterized sweeps over geometries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/config.hh"
+#include "cache/tag_store.hh"
+#include "util/logging.hh"
+
+namespace gaas::cache
+{
+namespace
+{
+
+TEST(CacheConfig, BaselineGeometry)
+{
+    const CacheConfig l1{4 * 1024, 1, 4, 4};
+    l1.validate("L1");
+    EXPECT_EQ(l1.lines(), 1024u);
+    EXPECT_EQ(l1.sets(), 1024u);
+    EXPECT_EQ(l1.lineBytes(), 16u);
+    EXPECT_EQ(l1.sizeBytes(), 16u * 1024);
+}
+
+TEST(CacheConfig, DescribeFormatsUnits)
+{
+    EXPECT_EQ(directMapped(4 * 1024).describe(),
+              "4KW 1-way 4W lines");
+    EXPECT_EQ(setAssoc(256 * 1024, 2, 32).describe(),
+              "256KW 2-way 32W lines");
+    EXPECT_EQ(directMapped(512).describe(), "512W 1-way 4W lines");
+}
+
+TEST(CacheConfig, RejectsBadGeometry)
+{
+    CacheConfig bad = directMapped(4 * 1024);
+    bad.sizeWords = 3000; // not a power of two
+    EXPECT_THROW(bad.validate("x"), FatalError);
+
+    bad = directMapped(4 * 1024);
+    bad.lineWords = 3;
+    EXPECT_THROW(bad.validate("x"), FatalError);
+
+    bad = directMapped(4 * 1024);
+    bad.fetchWords = 8; // fetch != line
+    EXPECT_THROW(bad.validate("x"), FatalError);
+
+    bad = directMapped(4 * 1024);
+    bad.assoc = 0;
+    EXPECT_THROW(bad.validate("x"), FatalError);
+
+    bad = directMapped(4 * 1024, 4);
+    bad.lineWords = 64; // beyond the 32W subblock mask
+    bad.fetchWords = 64;
+    EXPECT_THROW(bad.validate("x"), FatalError);
+
+    // Size smaller than one set.
+    bad = CacheConfig{16, 8, 4, 4};
+    EXPECT_THROW(bad.validate("x"), FatalError);
+}
+
+TEST(TagStore, AddressDissection)
+{
+    TagStore store(directMapped(4 * 1024), "test");
+    // 4KW direct mapped, 4W (16B) lines -> 1024 sets, 4-bit offset.
+    EXPECT_EQ(store.lineAddr(0x12345), 0x12340u);
+    EXPECT_EQ(store.setIndex(0x0), 0u);
+    EXPECT_EQ(store.setIndex(0x10), 1u);
+    EXPECT_EQ(store.setIndex(16 * 1024), 0u); // wraps at cache size
+    EXPECT_EQ(store.tagOf(16 * 1024), 1u);
+    EXPECT_EQ(store.wordInLine(0x0), 0u);
+    EXPECT_EQ(store.wordInLine(0x4), 1u);
+    EXPECT_EQ(store.wordInLine(0xc), 3u);
+    EXPECT_EQ(store.wordBit(0xc), 0x8u);
+    EXPECT_EQ(store.fullMask(), 0xfu);
+}
+
+TEST(TagStore, MissThenHit)
+{
+    TagStore store(directMapped(4 * 1024), "test");
+    EXPECT_EQ(store.find(0x1000), nullptr);
+    Eviction ev;
+    LineState &line = store.allocate(0x1000, ev);
+    EXPECT_FALSE(ev.valid);
+    EXPECT_TRUE(line.valid);
+    EXPECT_FALSE(line.dirty);
+    EXPECT_FALSE(line.writeOnly);
+    EXPECT_EQ(line.validMask, store.fullMask());
+    // Any word of the line hits.
+    EXPECT_EQ(store.find(0x1000), &line);
+    EXPECT_EQ(store.find(0x100c), &line);
+    // The next line does not.
+    EXPECT_EQ(store.find(0x1010), nullptr);
+}
+
+TEST(TagStore, EvictionReportsAddressAndDirty)
+{
+    TagStore store(directMapped(4 * 1024), "test");
+    Eviction ev;
+    LineState &line = store.allocate(0x1000, ev);
+    line.dirty = true;
+
+    // Same set, different tag: 16KB away.
+    store.allocate(0x1000 + 16 * 1024, ev);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(ev.lineAddr, 0x1000u);
+}
+
+TEST(TagStore, LruVictimSelection)
+{
+    TagStore store(setAssoc(32, 2, 4), "test");
+    // 4 sets x 2 ways; set 0 repeats every 64 bytes.
+    Eviction ev;
+    const Addr a = 0x000, b = 0x040, c = 0x080;
+    store.allocate(a, ev);
+    store.allocate(b, ev);
+    // Touch A so B is LRU.
+    store.touch(*store.find(a));
+    store.allocate(c, ev);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, b);
+    EXPECT_NE(store.find(a), nullptr);
+    EXPECT_EQ(store.find(b), nullptr);
+    EXPECT_NE(store.find(c), nullptr);
+}
+
+TEST(TagStore, VictimPrefersInvalidWay)
+{
+    TagStore store(setAssoc(32, 2, 4), "test");
+    Eviction ev;
+    store.allocate(0x000, ev);
+    // Second way of set 0 is still invalid; victim must be it.
+    LineState &victim = store.victim(0x040);
+    EXPECT_FALSE(victim.valid);
+}
+
+TEST(TagStore, InvalidateAll)
+{
+    TagStore store(directMapped(1024), "test");
+    Eviction ev;
+    store.allocate(0x0, ev);
+    store.allocate(0x100, ev);
+    EXPECT_EQ(store.validCount(), 2u);
+    store.invalidateAll();
+    EXPECT_EQ(store.validCount(), 0u);
+    EXPECT_EQ(store.find(0x0), nullptr);
+}
+
+TEST(TagStore, DirtyCount)
+{
+    TagStore store(directMapped(1024), "test");
+    Eviction ev;
+    store.allocate(0x0, ev).dirty = true;
+    store.allocate(0x100, ev);
+    EXPECT_EQ(store.dirtyCount(), 1u);
+}
+
+TEST(TagStore, WriteOnlyAndSubblockStateSurvivesFind)
+{
+    TagStore store(directMapped(4 * 1024), "test");
+    Eviction ev;
+    LineState &line = store.allocate(0x2000, ev);
+    line.writeOnly = true;
+    line.validMask = 0x2;
+    // find() is a pure tag probe: state is unchanged.
+    LineState *found = store.find(0x2004);
+    ASSERT_NE(found, nullptr);
+    EXPECT_TRUE(found->writeOnly);
+    EXPECT_EQ(found->validMask, 0x2u);
+}
+
+/** Geometry sweep: allocate-then-find must hold for any shape. */
+class TagStoreGeometry
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, unsigned, unsigned>>
+{
+};
+
+TEST_P(TagStoreGeometry, AllocateFindRoundTrip)
+{
+    const auto [size, assoc, line_words] = GetParam();
+    TagStore store(setAssoc(size, assoc, line_words), "sweep");
+
+    // Touch a spread of addresses; each must be findable right after
+    // allocation, and the store never exceeds its capacity.
+    Eviction ev;
+    for (Addr addr = 0; addr < 64 * 1024; addr += 1003 * 4) {
+        if (!store.find(addr))
+            store.allocate(addr, ev);
+        LineState *line = store.find(addr);
+        ASSERT_NE(line, nullptr);
+        EXPECT_EQ(store.lineAddr(addr) % (line_words * 4), 0u);
+    }
+    EXPECT_LE(store.validCount(), store.config().lines());
+}
+
+TEST_P(TagStoreGeometry, EvictionAddressMapsBackToSameSet)
+{
+    const auto [size, assoc, line_words] = GetParam();
+    TagStore store(setAssoc(size, assoc, line_words), "sweep");
+    Eviction ev;
+    for (Addr addr = 0; addr < 256 * 1024; addr += 4093 * 4) {
+        store.allocate(addr, ev);
+        if (ev.valid) {
+            // A victim's reconstructed address must index the same
+            // set it was evicted from.
+            EXPECT_EQ(store.setIndex(ev.lineAddr),
+                      store.setIndex(addr));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TagStoreGeometry,
+    ::testing::Values(
+        std::make_tuple(1024, 1u, 4u),
+        std::make_tuple(4 * 1024, 1u, 4u),
+        std::make_tuple(4 * 1024, 1u, 8u),
+        std::make_tuple(4 * 1024, 2u, 4u),
+        std::make_tuple(32 * 1024, 1u, 32u),
+        std::make_tuple(256 * 1024, 1u, 32u),
+        std::make_tuple(256 * 1024, 2u, 32u),
+        std::make_tuple(1024 * 1024, 2u, 32u)));
+
+} // namespace
+} // namespace gaas::cache

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for SystemConfig text (de)serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/config.hh"
+#include "core/config_io.hh"
+#include "util/logging.hh"
+
+namespace gaas::core
+{
+namespace
+{
+
+/** Field-by-field equality over everything config_io round-trips. */
+void
+expectEqualConfigs(const SystemConfig &a, const SystemConfig &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.l1i, b.l1i);
+    EXPECT_EQ(a.l1d, b.l1d);
+    EXPECT_EQ(a.writePolicy, b.writePolicy);
+    EXPECT_EQ(a.l2Org, b.l2Org);
+    EXPECT_EQ(a.l2.cache, b.l2.cache);
+    EXPECT_EQ(a.l2.accessTime, b.l2.accessTime);
+    EXPECT_EQ(a.l2i.cache, b.l2i.cache);
+    EXPECT_EQ(a.l2i.accessTime, b.l2i.accessTime);
+    EXPECT_EQ(a.l2d.cache, b.l2d.cache);
+    EXPECT_EQ(a.l2d.accessTime, b.l2d.accessTime);
+    EXPECT_EQ(a.transferWordsPerCycle, b.transferWordsPerCycle);
+    EXPECT_EQ(a.wbDepth, b.wbDepth);
+    EXPECT_EQ(a.wbEntryWords, b.wbEntryWords);
+    EXPECT_EQ(a.wbStreamOverlap, b.wbStreamOverlap);
+    EXPECT_EQ(a.concurrentIRefill, b.concurrentIRefill);
+    EXPECT_EQ(a.loadBypass, b.loadBypass);
+    EXPECT_EQ(a.l2DirtyBuffer, b.l2DirtyBuffer);
+    EXPECT_EQ(a.memory.cleanMissPenalty, b.memory.cleanMissPenalty);
+    EXPECT_EQ(a.memory.dirtyMissPenalty, b.memory.dirtyMissPenalty);
+    EXPECT_EQ(a.mmu.tlbMissPenalty, b.mmu.tlbMissPenalty);
+    EXPECT_EQ(a.mmu.pageTable.colors, b.mmu.pageTable.colors);
+    EXPECT_EQ(a.mmu.pageTable.coloring, b.mmu.pageTable.coloring);
+    EXPECT_EQ(a.timeSliceCycles, b.timeSliceCycles);
+}
+
+SystemConfig
+roundTrip(const SystemConfig &cfg)
+{
+    std::ostringstream os;
+    saveConfig(cfg, os);
+    std::istringstream is(os.str());
+    return loadConfig(is);
+}
+
+TEST(ConfigIo, RoundTripsEveryPreset)
+{
+    for (const auto &cfg :
+         {baseline(), afterWritePolicy(), afterSplitL2(),
+          afterFetchSize(), afterConcurrentIRefill(),
+          afterLoadBypass(), optimized(), splitL2Exchanged()}) {
+        SCOPED_TRACE(cfg.name);
+        expectEqualConfigs(roundTrip(cfg), cfg);
+    }
+}
+
+TEST(ConfigIo, DefaultsApplyForMissingKeys)
+{
+    std::istringstream is("write_policy = writeonly\n");
+    const auto cfg = loadConfig(is);
+    EXPECT_EQ(cfg.writePolicy, WritePolicy::WriteOnly);
+    // Policy defaults reshaped the write buffer.
+    EXPECT_EQ(cfg.wbDepth, 8u);
+    EXPECT_EQ(cfg.wbEntryWords, 1u);
+    // Everything else stays at baseline.
+    EXPECT_EQ(cfg.l2.cache.sizeWords, 256u * 1024);
+}
+
+TEST(ConfigIo, CommentsAndBlanksIgnored)
+{
+    std::istringstream is(
+        "# a comment\n\n  \t\nl2.access_time = 8\n");
+    EXPECT_EQ(loadConfig(is).l2.accessTime, 8u);
+}
+
+TEST(ConfigIo, UnknownKeyIsFatal)
+{
+    std::istringstream is("l3.size_words = 1024\n");
+    EXPECT_THROW(loadConfig(is), FatalError);
+}
+
+TEST(ConfigIo, MalformedLineIsFatal)
+{
+    std::istringstream is("this is not a key value pair\n");
+    EXPECT_THROW(loadConfig(is), FatalError);
+}
+
+TEST(ConfigIo, BadNumberIsFatal)
+{
+    std::istringstream is("l2.access_time = six\n");
+    EXPECT_THROW(loadConfig(is), FatalError);
+}
+
+TEST(ConfigIo, BadEnumIsFatal)
+{
+    std::istringstream is("write_policy = copyback\n");
+    EXPECT_THROW(loadConfig(is), FatalError);
+    std::istringstream is2("l2.org = banked\n");
+    EXPECT_THROW(loadConfig(is2), FatalError);
+}
+
+TEST(ConfigIo, LoadedConfigIsValidated)
+{
+    // Inconsistent combination must be rejected at load time.
+    std::istringstream is("concurrent_i_refill = true\n");
+    EXPECT_THROW(loadConfig(is), FatalError); // unified L2
+}
+
+TEST(ConfigIo, FileRoundTrip)
+{
+    const auto path = (std::filesystem::temp_directory_path() /
+                       "gaas_config_io.cfg")
+                          .string();
+    const auto cfg = optimized();
+    saveConfigFile(cfg, path);
+    expectEqualConfigs(loadConfigFile(path), cfg);
+    std::filesystem::remove(path);
+}
+
+TEST(ConfigIo, MissingFileIsFatal)
+{
+    EXPECT_THROW(loadConfigFile("/nonexistent/nope.cfg"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace gaas::core

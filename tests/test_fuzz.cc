@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Configuration-space fuzzing: seeded random (but valid)
+ * SystemConfigs drive short simulations, and the accounting
+ * invariants must hold for every one of them.  This is the guard
+ * against corner-case interactions the hand-written timing tests
+ * do not enumerate (odd line sizes x policies x bypass modes x
+ * split organisations).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "core/simulator.hh"
+#include "util/random.hh"
+
+namespace gaas::core
+{
+namespace
+{
+
+/** Draw a random valid configuration. */
+SystemConfig
+randomConfig(Rng &rng)
+{
+    SystemConfig cfg = baseline();
+    cfg.name = "fuzz";
+
+    const std::uint64_t l1_sizes[] = {1024, 2048, 4096, 8192};
+    const unsigned line_sizes[] = {4, 8, 16};
+    const unsigned assocs[] = {1, 1, 2}; // bias to direct mapped
+
+    cfg.l1i.sizeWords = l1_sizes[rng.nextBounded(4)];
+    cfg.l1i.assoc = assocs[rng.nextBounded(3)];
+    const unsigned line = line_sizes[rng.nextBounded(3)];
+    cfg.l1i.lineWords = cfg.l1i.fetchWords = line;
+    cfg.l1d = cfg.l1i;
+    cfg.l1d.sizeWords = l1_sizes[rng.nextBounded(4)];
+
+    const WritePolicy policies[] = {
+        WritePolicy::WriteBack, WritePolicy::WriteMissInvalidate,
+        WritePolicy::WriteOnly, WritePolicy::SubblockPlacement};
+    cfg.writePolicy = policies[rng.nextBounded(4)];
+    cfg.applyPolicyDefaults();
+    if (cfg.writePolicy == WritePolicy::WriteBack) {
+        // Victim entries must cover a full L1-D line.
+        cfg.wbEntryWords = std::max(cfg.wbEntryWords,
+                                    cfg.l1d.lineWords);
+    } else {
+        cfg.wbDepth = 1u << rng.nextBounded(5); // 1..16
+    }
+
+    const L2Org orgs[] = {L2Org::Unified, L2Org::LogicalSplit,
+                          L2Org::PhysicalSplit};
+    cfg.l2Org = orgs[rng.nextBounded(3)];
+    cfg.l2.cache.sizeWords = 16384ull
+                             << rng.nextBounded(5); // 16K..256K
+    cfg.l2.cache.assoc = assocs[rng.nextBounded(3)];
+    cfg.l2.accessTime = 2 + rng.nextBounded(9);
+    cfg.l2i = cfg.l2d = cfg.l2;
+    cfg.l2d.cache.sizeWords = 16384ull << rng.nextBounded(5);
+    cfg.l2d.accessTime = 2 + rng.nextBounded(9);
+
+    if (cfg.l2IsSplit() && rng.nextBernoulli(0.5))
+        cfg.concurrentIRefill = true;
+    if (isWriteThrough(cfg.writePolicy)) {
+        if (cfg.writePolicy == WritePolicy::WriteOnly &&
+            rng.nextBernoulli(0.3)) {
+            cfg.loadBypass = LoadBypass::DirtyBit;
+        } else if (rng.nextBernoulli(0.3)) {
+            cfg.loadBypass = LoadBypass::Associative;
+        }
+    }
+    if (rng.nextBernoulli(0.3)) {
+        cfg.l2DirtyBuffer = true;
+        cfg.memory.dirtyBuffer = true;
+    }
+    cfg.timeSliceCycles = 10'000u << rng.nextBounded(4);
+    return cfg;
+}
+
+class ConfigFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ConfigFuzz, InvariantsHoldOnRandomConfigs)
+{
+    Rng rng(GetParam());
+    const SystemConfig cfg = randomConfig(rng);
+    SCOPED_TRACE(cfg.describe());
+    ASSERT_NO_THROW(cfg.validate());
+
+    const auto res = runStandard(cfg, 30'000, 4, 10'000);
+
+    // Exact cycle decomposition.
+    EXPECT_EQ(res.cycles, res.instructions + res.cpuStallCycles +
+                              res.comp.total());
+    // The memory system never creates negative time.
+    EXPECT_GE(res.cpi(), res.baseCpi());
+    // Accounting consistency.
+    EXPECT_EQ(res.sys.l2iAccesses, res.sys.l1iMisses);
+    EXPECT_LE(res.sys.l2iMisses, res.sys.l2iAccesses);
+    EXPECT_LE(res.sys.l2dMisses, res.sys.l2dAccesses);
+    EXPECT_LE(res.sys.l1iMisses, res.sys.ifetches);
+    EXPECT_LE(res.sys.l1dReadMisses, res.sys.loads);
+    EXPECT_LE(res.sys.l1dWriteMisses, res.sys.stores);
+    // Memory traffic only comes from L2 misses.
+    EXPECT_EQ(res.sys.memory.reads,
+              res.sys.l2iMisses + res.sys.l2dMisses);
+    // Dirty writebacks cannot exceed misses.
+    EXPECT_LE(res.sys.memory.dirtyWritebacks, res.sys.memory.reads);
+    // The run is deterministic.
+    const auto res2 = runStandard(cfg, 30'000, 4, 10'000);
+    EXPECT_EQ(res.cycles, res2.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+} // namespace
+} // namespace gaas::core

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: write-buffer timing (drain
+ * scheduling, streamed overlap, full stalls, bypass variants) and
+ * main-memory miss penalties with and without the dirty buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+#include "mem/write_buffer.hh"
+#include "util/logging.hh"
+
+namespace gaas::mem
+{
+namespace
+{
+
+WriteBufferConfig
+wtBuffer(Cycles drain = 6)
+{
+    // The write-through shape: 8 deep, 1W entries.
+    return WriteBufferConfig{8, 1, drain, 2};
+}
+
+TEST(WriteBuffer, RejectsBadConfig)
+{
+    EXPECT_THROW(WriteBuffer(WriteBufferConfig{0, 1, 6, 2}),
+                 FatalError);
+    EXPECT_THROW(WriteBuffer(WriteBufferConfig{4, 0, 6, 2}),
+                 FatalError);
+    EXPECT_THROW(WriteBuffer(WriteBufferConfig{4, 1, 0, 2}),
+                 FatalError);
+    // Overlap must be less than the drain time.
+    EXPECT_THROW(WriteBuffer(WriteBufferConfig{4, 1, 2, 2}),
+                 FatalError);
+}
+
+TEST(WriteBuffer, SingleEntryDrainsAtFullCost)
+{
+    WriteBuffer wb(wtBuffer(6));
+    EXPECT_EQ(wb.push(100, 0x1000), 0u);
+    EXPECT_FALSE(wb.empty(100));
+    EXPECT_FALSE(wb.empty(105));
+    EXPECT_TRUE(wb.empty(106)); // completes at 100 + 6
+}
+
+TEST(WriteBuffer, StreamedEntriesOverlapLatency)
+{
+    WriteBuffer wb(wtBuffer(6));
+    wb.push(100, 0x1000); // completes at 106
+    wb.push(101, 0x1004); // streams: 106 + (6 - 2) = 110
+    EXPECT_FALSE(wb.empty(109));
+    EXPECT_TRUE(wb.empty(110));
+}
+
+TEST(WriteBuffer, IsolatedEntriesPayFullCost)
+{
+    WriteBuffer wb(wtBuffer(6));
+    wb.push(100, 0x1000); // completes at 106
+    // Pushed after the buffer went idle: no streaming.
+    wb.push(200, 0x1004); // completes at 206
+    EXPECT_FALSE(wb.empty(205));
+    EXPECT_TRUE(wb.empty(206));
+}
+
+TEST(WriteBuffer, FullBufferStallsProducer)
+{
+    WriteBuffer wb(WriteBufferConfig{2, 1, 6, 2});
+    EXPECT_EQ(wb.push(100, 0x0), 0u); // completes 106
+    EXPECT_EQ(wb.push(100, 0x4), 0u); // streams, completes 110
+    // Third push at 100 must wait for the front entry (106).
+    const Cycles stall = wb.push(100, 0x8);
+    EXPECT_EQ(stall, 6u);
+    EXPECT_EQ(wb.stats().fullStalls, 1u);
+    EXPECT_EQ(wb.stats().fullStallCycles, 6u);
+}
+
+TEST(WriteBuffer, DrainAllWaitsForLastEntry)
+{
+    WriteBuffer wb(wtBuffer(6));
+    wb.push(100, 0x0); // 106
+    wb.push(101, 0x4); // 110
+    EXPECT_EQ(wb.drainAll(104), 6u);
+    EXPECT_TRUE(wb.empty(104));
+    EXPECT_EQ(wb.stats().drainWaits, 1u);
+    EXPECT_EQ(wb.stats().drainWaitCycles, 6u);
+}
+
+TEST(WriteBuffer, DrainAllOnEmptyIsFree)
+{
+    WriteBuffer wb(wtBuffer(6));
+    EXPECT_EQ(wb.drainAll(100), 0u);
+    wb.push(100, 0x0);
+    EXPECT_EQ(wb.drainAll(500), 0u); // long since retired
+}
+
+TEST(WriteBuffer, DrainLineMatchesYoungestAndFlushesPrefix)
+{
+    WriteBuffer wb(wtBuffer(6));
+    wb.push(100, 0x1000); // 106
+    wb.push(100, 0x2000); // 110
+    wb.push(100, 0x1004); // 114 (same 16B line as 0x1000)
+    wb.push(100, 0x3000); // 118
+
+    // Matching line 0x1000 must wait until the *youngest* matching
+    // entry (0x1004, completes 114) retires.
+    EXPECT_EQ(wb.drainLine(100, 0x1000, 16), 14u);
+    // The younger non-matching entry (0x3000) is still in flight.
+    EXPECT_FALSE(wb.empty(100));
+    EXPECT_EQ(wb.occupancy(100), 1u);
+}
+
+TEST(WriteBuffer, DrainLineNoMatchIsBypass)
+{
+    WriteBuffer wb(wtBuffer(6));
+    wb.push(100, 0x1000);
+    EXPECT_EQ(wb.drainLine(100, 0x8000, 16), 0u);
+    EXPECT_EQ(wb.stats().bypasses, 1u);
+}
+
+TEST(WriteBuffer, OccupancyAndMaxOccupancy)
+{
+    WriteBuffer wb(wtBuffer(6));
+    wb.push(100, 0x0);
+    wb.push(100, 0x4);
+    wb.push(100, 0x8);
+    EXPECT_EQ(wb.occupancy(100), 3u);
+    EXPECT_EQ(wb.stats().maxOccupancy, 3u);
+    EXPECT_EQ(wb.stats().pushes, 3u);
+    // After everything retires, occupancy returns to zero.
+    EXPECT_EQ(wb.occupancy(1000), 0u);
+}
+
+TEST(WriteBuffer, ResetStatsKeepsEntries)
+{
+    WriteBuffer wb(wtBuffer(6));
+    wb.push(100, 0x0);
+    wb.resetStats();
+    EXPECT_EQ(wb.stats().pushes, 0u);
+    EXPECT_FALSE(wb.empty(100)); // entry still draining
+}
+
+TEST(MainMemory, CleanAndDirtyPenalties)
+{
+    MainMemory mem(MainMemoryConfig{});
+    EXPECT_EQ(mem.fetchLine(1000, false), 143u);
+    EXPECT_EQ(mem.fetchLine(10000, true), 237u);
+    EXPECT_EQ(mem.stats().reads, 2u);
+    EXPECT_EQ(mem.stats().dirtyWritebacks, 1u);
+}
+
+TEST(MainMemory, BusContentionDelaysBackToBackMisses)
+{
+    MainMemory mem(MainMemoryConfig{});
+    EXPECT_EQ(mem.fetchLine(1000, false), 143u); // bus busy to 1143
+    // A miss 43 cycles later waits out the bus.
+    EXPECT_EQ(mem.fetchLine(1043, false), 100u + 143u);
+    EXPECT_EQ(mem.stats().busWaits, 1u);
+    EXPECT_EQ(mem.stats().busWaitCycles, 100u);
+}
+
+TEST(MainMemory, DirtyBufferHidesWritebackFromRequester)
+{
+    MainMemoryConfig cfg;
+    cfg.dirtyBuffer = true;
+    MainMemory mem(cfg);
+    // The requester sees only the clean penalty...
+    EXPECT_EQ(mem.fetchLine(1000, true), 143u);
+    // ...but the write-back occupies the bus afterwards: busy until
+    // 1000 + 143 + (237 - 143) = 1237.
+    EXPECT_EQ(mem.busyUntil(), 1237u);
+    // A following miss inside that window pays the wait.
+    EXPECT_EQ(mem.fetchLine(1143, false), 94u + 143u);
+}
+
+TEST(MainMemory, RejectsBadConfig)
+{
+    MainMemoryConfig cfg;
+    cfg.cleanMissPenalty = 0;
+    EXPECT_THROW(MainMemory{cfg}, FatalError);
+
+    cfg = MainMemoryConfig{};
+    cfg.dirtyMissPenalty = 100; // less than clean
+    EXPECT_THROW(MainMemory{cfg}, FatalError);
+
+    cfg = MainMemoryConfig{};
+    cfg.lineWords = 0;
+    EXPECT_THROW(MainMemory{cfg}, FatalError);
+}
+
+/** The write-back buffer shape from the base architecture. */
+TEST(WriteBuffer, WriteBackShapeHoldsFourLineEntries)
+{
+    WriteBuffer wb(WriteBufferConfig{4, 4, 6, 2});
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(wb.push(100, static_cast<Addr>(i) * 16), 0u);
+    EXPECT_EQ(wb.occupancy(100), 4u);
+    // Fifth push stalls for the front entry.
+    EXPECT_GT(wb.push(100, 0x100), 0u);
+}
+
+/** Parameterized: completion times are monotone for any drain. */
+class WriteBufferDrain : public ::testing::TestWithParam<Cycles>
+{
+};
+
+TEST_P(WriteBufferDrain, BackToBackStreamRetiresInOrder)
+{
+    const Cycles drain = GetParam();
+    WriteBuffer wb(WriteBufferConfig{8, 1, drain,
+                                     std::min<Cycles>(2, drain - 1)});
+    Cycles now = 0;
+    for (int i = 0; i < 20; ++i)
+        now += wb.push(now, static_cast<Addr>(i) * 4);
+    // Everything retires within depth * drain of the last push.
+    EXPECT_TRUE(wb.empty(now + 8 * drain));
+    // Nothing is lost: all 20 pushes were accepted.
+    EXPECT_EQ(wb.stats().pushes, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Drains, WriteBufferDrain,
+                         ::testing::Values(2, 4, 6, 8, 10));
+
+} // namespace
+} // namespace gaas::mem

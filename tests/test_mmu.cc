@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the MMU substrate: page colouring, PID-tagged
+ * TLBs, and the facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mmu/mmu.hh"
+#include "mmu/page_table.hh"
+#include "mmu/tlb.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace gaas::mmu
+{
+namespace
+{
+
+constexpr unsigned kPageShift = floorLog2(kPageBytes);
+
+TEST(PageTable, PreservesPageOffset)
+{
+    PageTable pt(PageTableConfig{});
+    const Addr vaddr = 0x1234'5678;
+    const Addr paddr = pt.translate(3, vaddr);
+    EXPECT_EQ(paddr & mask(kPageShift), vaddr & mask(kPageShift));
+}
+
+TEST(PageTable, StableMapping)
+{
+    PageTable pt(PageTableConfig{});
+    const Addr first = pt.translate(1, 0x40'0000);
+    EXPECT_EQ(pt.translate(1, 0x40'0000), first);
+    EXPECT_EQ(pt.translate(1, 0x40'0004), first + 4);
+    EXPECT_EQ(pt.pagesAllocated(), 1u);
+}
+
+TEST(PageTable, ColoringPreservesColorBits)
+{
+    PageTableConfig cfg;
+    cfg.colors = 64;
+    cfg.coloring = true;
+    PageTable pt(cfg);
+    for (Addr vaddr = 0; vaddr < 256 * kPageBytes;
+         vaddr += kPageBytes) {
+        const Addr paddr = pt.translate(0, vaddr);
+        const std::uint64_t vcolor =
+            (vaddr >> kPageShift) & (cfg.colors - 1);
+        const std::uint64_t pcolor =
+            (paddr >> kPageShift) & (cfg.colors - 1);
+        EXPECT_EQ(vcolor, pcolor) << "vaddr " << vaddr;
+    }
+}
+
+TEST(PageTable, DistinctProcessesGetDistinctFrames)
+{
+    PageTable pt(PageTableConfig{});
+    std::set<Addr> frames;
+    for (Pid pid = 0; pid < 16; ++pid)
+        frames.insert(pt.translate(pid, 0x40'0000) >> kPageShift);
+    EXPECT_EQ(frames.size(), 16u);
+    EXPECT_EQ(pt.pagesAllocated(), 16u);
+}
+
+TEST(PageTable, DistinctPagesGetDistinctFrames)
+{
+    PageTableConfig cfg;
+    for (bool coloring : {true, false}) {
+        cfg.coloring = coloring;
+        PageTable pt(cfg);
+        std::set<Addr> frames;
+        const unsigned pages = 512;
+        for (unsigned i = 0; i < pages; ++i) {
+            frames.insert(
+                pt.translate(1, static_cast<Addr>(i) * kPageBytes) >>
+                kPageShift);
+        }
+        EXPECT_EQ(frames.size(), pages)
+            << "coloring=" << coloring;
+    }
+}
+
+TEST(PageTable, FootprintAccounting)
+{
+    PageTable pt(PageTableConfig{});
+    pt.translate(0, 0);
+    pt.translate(0, kPageBytes);
+    EXPECT_EQ(pt.footprintBytes(), 2u * kPageBytes);
+}
+
+TEST(PageTable, RejectsBadColorCount)
+{
+    PageTableConfig cfg;
+    cfg.colors = 48;
+    EXPECT_THROW(PageTable{cfg}, FatalError);
+    cfg.colors = 0;
+    EXPECT_THROW(PageTable{cfg}, FatalError);
+}
+
+TEST(Tlb, HitAfterRefill)
+{
+    Tlb tlb(TlbConfig{32, 2});
+    EXPECT_FALSE(tlb.access(1, 100)); // cold miss, refilled
+    EXPECT_TRUE(tlb.access(1, 100));
+    EXPECT_EQ(tlb.stats().accesses, 2u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, PidTagDistinguishesProcesses)
+{
+    Tlb tlb(TlbConfig{32, 2});
+    EXPECT_FALSE(tlb.access(1, 100));
+    // Same vpn, different pid: a different translation.
+    EXPECT_FALSE(tlb.access(2, 100));
+    EXPECT_TRUE(tlb.access(1, 100));
+    EXPECT_TRUE(tlb.access(2, 100));
+}
+
+TEST(Tlb, LruReplacementWithinSet)
+{
+    Tlb tlb(TlbConfig{32, 2}); // 16 sets
+    // Three vpns in set 0: 0, 16, 32.
+    tlb.access(0, 0);
+    tlb.access(0, 16);
+    tlb.access(0, 0);  // touch 0: 16 becomes LRU
+    tlb.access(0, 32); // evicts 16
+    EXPECT_TRUE(tlb.access(0, 0));
+    EXPECT_TRUE(tlb.access(0, 32));
+    EXPECT_FALSE(tlb.access(0, 16));
+}
+
+TEST(Tlb, FlushEmptiesEverything)
+{
+    Tlb tlb(TlbConfig{32, 2});
+    tlb.access(0, 5);
+    tlb.flush();
+    EXPECT_FALSE(tlb.access(0, 5));
+}
+
+TEST(Tlb, RejectsBadGeometry)
+{
+    EXPECT_THROW(Tlb(TlbConfig{0, 2}), FatalError);
+    EXPECT_THROW(Tlb(TlbConfig{32, 0}), FatalError);
+    EXPECT_THROW(Tlb(TlbConfig{33, 2}), FatalError);
+    EXPECT_THROW(Tlb(TlbConfig{24, 2}), FatalError); // 12 sets
+}
+
+TEST(Mmu, SplitTlbsAreIndependent)
+{
+    Mmu mmu(MmuConfig{});
+    const Addr vaddr = 0x40'0000;
+    auto r1 = mmu.translateInst(1, vaddr);
+    EXPECT_TRUE(r1.tlbMiss);
+    // The data TLB has not seen this page.
+    auto r2 = mmu.translateData(1, vaddr);
+    EXPECT_TRUE(r2.tlbMiss);
+    EXPECT_EQ(r1.paddr, r2.paddr);
+    EXPECT_FALSE(mmu.translateInst(1, vaddr).tlbMiss);
+    EXPECT_FALSE(mmu.translateData(1, vaddr).tlbMiss);
+    EXPECT_EQ(mmu.itlbStats().misses, 1u);
+    EXPECT_EQ(mmu.dtlbStats().misses, 1u);
+}
+
+TEST(Mmu, NoFlushAcrossContextSwitches)
+{
+    // PID tagging means process 1's entries survive process 2's
+    // activity (Section 3 of the paper).
+    Mmu mmu(MmuConfig{});
+    mmu.translateInst(1, 0x40'0000);
+    for (Addr a = 0; a < 8 * kPageBytes; a += kPageBytes)
+        mmu.translateInst(2, 0x80'0000 + a);
+    EXPECT_FALSE(mmu.translateInst(1, 0x40'0000).tlbMiss);
+}
+
+TEST(Mmu, StatsResetKeepsTranslations)
+{
+    Mmu mmu(MmuConfig{});
+    mmu.translateInst(1, 0x40'0000);
+    mmu.resetStats();
+    EXPECT_EQ(mmu.itlbStats().accesses, 0u);
+    EXPECT_FALSE(mmu.translateInst(1, 0x40'0000).tlbMiss);
+}
+
+/** Parameterized: colouring property holds for any colour count. */
+class PageColorSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PageColorSweep, ColorsMatch)
+{
+    PageTableConfig cfg;
+    cfg.colors = GetParam();
+    PageTable pt(cfg);
+    for (Addr v = 0; v < 128 * kPageBytes; v += 3 * kPageBytes) {
+        const Addr p = pt.translate(7, v);
+        EXPECT_EQ((v >> kPageShift) & (cfg.colors - 1),
+                  (p >> kPageShift) & (cfg.colors - 1));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Colors, PageColorSweep,
+                         ::testing::Values(1, 2, 16, 64, 256));
+
+} // namespace
+} // namespace gaas::mmu

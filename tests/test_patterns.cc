@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the directed-test trace patterns themselves (their
+ * cache-level consequences are covered in test_directed.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/compose.hh"
+#include "trace/patterns.hh"
+#include "util/logging.hh"
+
+namespace gaas::trace
+{
+namespace
+{
+
+TEST(SequentialPattern, EmitsExactInstructionCount)
+{
+    SequentialPattern::Params p;
+    p.instructions = 1000;
+    SequentialPattern src(p);
+    MemRef ref;
+    Count inst = 0;
+    while (src.next(ref)) {
+        if (ref.isInst())
+            ++inst;
+    }
+    EXPECT_EQ(inst, 1000u);
+}
+
+TEST(SequentialPattern, InstructionAddressesWrap)
+{
+    SequentialPattern::Params p;
+    p.instFootprintWords = 16;
+    p.instructions = 40;
+    SequentialPattern src(p);
+    MemRef ref;
+    std::set<Addr> unique;
+    while (src.next(ref))
+        unique.insert(ref.addr);
+    EXPECT_EQ(unique.size(), 16u);
+}
+
+TEST(SequentialPattern, DataRefsInterleaveAndMark)
+{
+    SequentialPattern::Params p;
+    p.instructions = 100;
+    p.dataFootprintWords = 64;
+    p.storeEvery = 4;
+    SequentialPattern src(p);
+    MemRef ref;
+    Count loads = 0, stores = 0;
+    while (src.next(ref)) {
+        if (ref.isLoad())
+            ++loads;
+        if (ref.isStore())
+            ++stores;
+    }
+    EXPECT_EQ(loads + stores, 100u);
+    EXPECT_EQ(stores, 25u);
+}
+
+TEST(SequentialPattern, ResetReplays)
+{
+    SequentialPattern::Params p;
+    p.instructions = 50;
+    p.dataFootprintWords = 32;
+    SequentialPattern src(p);
+    const auto first = collect(src, 1000);
+    src.reset();
+    EXPECT_EQ(collect(src, 1000), first);
+}
+
+TEST(SequentialPattern, RejectsBadParams)
+{
+    SequentialPattern::Params p;
+    p.instFootprintWords = 0;
+    EXPECT_THROW(SequentialPattern{p}, FatalError);
+    p = SequentialPattern::Params{};
+    p.instructions = 0;
+    EXPECT_THROW(SequentialPattern{p}, FatalError);
+}
+
+TEST(ConflictPattern, CyclesThroughWays)
+{
+    ConflictPattern::Params p;
+    p.ways = 3;
+    p.instructions = 9;
+    ConflictPattern src(p);
+    MemRef ref;
+    std::vector<Addr> data;
+    while (src.next(ref)) {
+        if (ref.isData())
+            data.push_back(ref.addr);
+    }
+    ASSERT_EQ(data.size(), 9u);
+    EXPECT_EQ(data[0], data[3]);
+    EXPECT_EQ(data[1], data[4]);
+    EXPECT_NE(data[0], data[1]);
+    // Spacing equals the configured stride.
+    EXPECT_EQ(data[1] - data[0], p.strideBytes);
+}
+
+TEST(ConflictPattern, StoresModeEmitsStores)
+{
+    ConflictPattern::Params p;
+    p.stores = true;
+    p.instructions = 10;
+    ConflictPattern src(p);
+    MemRef ref;
+    while (src.next(ref)) {
+        if (ref.isData()) {
+            EXPECT_TRUE(ref.isStore());
+        }
+    }
+}
+
+TEST(ConflictPattern, RejectsZeroWays)
+{
+    ConflictPattern::Params p;
+    p.ways = 0;
+    EXPECT_THROW(ConflictPattern{p}, FatalError);
+}
+
+TEST(RandomPattern, StaysInFootprintAndIsDeterministic)
+{
+    RandomPattern::Params p;
+    p.footprintWords = 128;
+    p.instructions = 500;
+    RandomPattern a(p), b(p);
+    MemRef ra, rb;
+    while (a.next(ra)) {
+        ASSERT_TRUE(b.next(rb));
+        EXPECT_EQ(ra, rb);
+        if (ra.isData()) {
+            EXPECT_GE(ra.addr, p.dataBase);
+            EXPECT_LT(ra.addr,
+                      p.dataBase + wordsToBytes(p.footprintWords));
+        }
+    }
+}
+
+TEST(RandomPattern, StoreFractionApproximate)
+{
+    RandomPattern::Params p;
+    p.instructions = 20000;
+    p.storeFrac = 0.25;
+    RandomPattern src(p);
+    MemRef ref;
+    Count stores = 0, data = 0;
+    while (src.next(ref)) {
+        if (ref.isData()) {
+            ++data;
+            if (ref.isStore())
+                ++stores;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(stores) /
+                    static_cast<double>(data),
+                0.25, 0.02);
+}
+
+TEST(RandomPattern, ResetReplays)
+{
+    RandomPattern::Params p;
+    p.instructions = 200;
+    RandomPattern src(p);
+    const auto first = collect(src, 1000);
+    src.reset();
+    EXPECT_EQ(collect(src, 1000), first);
+}
+
+} // namespace
+} // namespace gaas::trace

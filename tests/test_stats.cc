@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the stats package: tables and distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "stats/distribution.hh"
+#include "stats/table.hh"
+#include "util/logging.hh"
+
+namespace gaas::stats
+{
+namespace
+{
+
+TEST(SampleStat, EmptyIsZero)
+{
+    SampleStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleStat, MeanAndVariance)
+{
+    SampleStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleStat, MergeMatchesCombinedStream)
+{
+    SampleStat a, b, all;
+    for (int i = 0; i < 100; ++i) {
+        const double x = i * 0.37;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SampleStat, MergeWithEmpty)
+{
+    SampleStat a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    SampleStat b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(1.0, 10);
+    for (int i = 0; i < 5; ++i)
+        h.add(static_cast<double>(i));
+    h.add(100.0);
+    h.add(-1.0); // clamps into bucket 0
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.moments().count(), 7u);
+}
+
+TEST(Histogram, CdfAndQuantile)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_NEAR(h.cdf(49.0), 0.5, 0.011);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, RejectsBadConfig)
+{
+    EXPECT_THROW(Histogram(0.0, 10), FatalError);
+    EXPECT_THROW(Histogram(1.0, 0), FatalError);
+}
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t({"config", "cpi"});
+    t.setTitle("demo");
+    t.newRow().cell("base").cell(1.6531, 4);
+    t.newRow().cell("optimized").cell(1.4270, 4);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("config"), std::string::npos);
+    EXPECT_NE(out.find("1.6531"), std::string::npos);
+    EXPECT_NE(out.find("optimized"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    Table t({"name", "note"});
+    t.newRow().cell("a,b").cell("say \"hi\"");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, WriteCsvRoundTrip)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "gaas_table_test.csv";
+    Table t({"x", "y"});
+    t.newRow().cell(std::uint64_t{1}).cell(2.5, 1);
+    ASSERT_TRUE(t.writeCsv(path.string()));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2.5");
+    std::filesystem::remove(path);
+}
+
+TEST(Table, RequiresColumns)
+{
+    EXPECT_THROW(Table({}), FatalError);
+}
+
+TEST(Table, RowCounting)
+{
+    Table t({"a"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.newRow().cell(1);
+    t.newRow().cell(2);
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.columnCount(), 1u);
+}
+
+} // namespace
+} // namespace gaas::stats

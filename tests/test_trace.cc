@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the trace substrate: records, composing sources,
+ * and the binary trace file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "trace/compose.hh"
+#include "trace/file.hh"
+#include "trace/source.hh"
+#include "util/logging.hh"
+
+namespace gaas::trace
+{
+namespace
+{
+
+std::vector<MemRef>
+sampleTrace()
+{
+    return {
+        instRef(0x400000),
+        loadRef(0x10000000),
+        instRef(0x400004),
+        instRef(0x400008, /*syscall=*/true),
+        storeRef(0x7ffeff00),
+        instRef(0x40000c),
+        storeRef(0x7ffeff04, /*partial_word=*/true),
+    };
+}
+
+TEST(MemRef, Predicates)
+{
+    EXPECT_TRUE(instRef(0).isInst());
+    EXPECT_FALSE(instRef(0).isData());
+    EXPECT_TRUE(loadRef(0).isLoad());
+    EXPECT_TRUE(loadRef(0).isData());
+    EXPECT_TRUE(storeRef(0).isStore());
+    EXPECT_TRUE(instRef(0, true).syscall);
+    EXPECT_TRUE(storeRef(0, true).partialWord);
+}
+
+TEST(VectorSource, PlaysBackAndResets)
+{
+    VectorSource src("sample", sampleTrace());
+    auto first = collect(src, 100);
+    EXPECT_EQ(first, sampleTrace());
+    MemRef ref;
+    EXPECT_FALSE(src.next(ref));
+    src.reset();
+    auto second = collect(src, 100);
+    EXPECT_EQ(second, sampleTrace());
+}
+
+TEST(LimitSource, Truncates)
+{
+    auto inner =
+        std::make_unique<VectorSource>("sample", sampleTrace());
+    LimitSource limited(std::move(inner), 3);
+    EXPECT_EQ(collect(limited, 100).size(), 3u);
+    limited.reset();
+    EXPECT_EQ(collect(limited, 100).size(), 3u);
+}
+
+TEST(LoopSource, WrapsAround)
+{
+    auto inner =
+        std::make_unique<VectorSource>("sample", sampleTrace());
+    LoopSource looped(std::move(inner));
+    const auto n = sampleTrace().size();
+    auto refs = collect(looped, 3 * n);
+    ASSERT_EQ(refs.size(), 3 * n);
+    EXPECT_EQ(looped.wraps(), 2u);
+    // Third copy matches the first.
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(refs[i], refs[2 * n + i]);
+}
+
+TEST(LoopSource, EmptyInnerTerminates)
+{
+    auto inner = std::make_unique<VectorSource>(
+        "empty", std::vector<MemRef>{});
+    LoopSource looped(std::move(inner));
+    MemRef ref;
+    EXPECT_FALSE(looped.next(ref));
+}
+
+TEST(ConcatSource, PlaysPartsInOrder)
+{
+    std::vector<std::unique_ptr<TraceSource>> parts;
+    parts.push_back(std::make_unique<VectorSource>(
+        "a", std::vector<MemRef>{instRef(1)}));
+    parts.push_back(std::make_unique<VectorSource>(
+        "b", std::vector<MemRef>{instRef(2), instRef(3)}));
+    ConcatSource cat(std::move(parts));
+    auto refs = collect(cat, 100);
+    ASSERT_EQ(refs.size(), 3u);
+    EXPECT_EQ(refs[0].addr, 1u);
+    EXPECT_EQ(refs[2].addr, 3u);
+    cat.reset();
+    EXPECT_EQ(collect(cat, 100).size(), 3u);
+}
+
+TEST(MixSource, CountsKinds)
+{
+    MixSource mix(
+        std::make_unique<VectorSource>("sample", sampleTrace()));
+    collect(mix, 100);
+    const RefMix &m = mix.mix();
+    EXPECT_EQ(m.instructions, 4u);
+    EXPECT_EQ(m.loads, 1u);
+    EXPECT_EQ(m.stores, 2u);
+    EXPECT_EQ(m.syscalls, 1u);
+    EXPECT_EQ(m.partialWordStores, 1u);
+    EXPECT_EQ(m.total(), 7u);
+    EXPECT_DOUBLE_EQ(m.loadFraction(), 0.25);
+    EXPECT_DOUBLE_EQ(m.storeFraction(), 0.5);
+}
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = (std::filesystem::temp_directory_path() /
+                "gaas_trace_test.gtrc")
+                   .string();
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove(path);
+    }
+
+    std::string path;
+};
+
+TEST_F(TraceFileTest, RoundTrip)
+{
+    {
+        TraceFileWriter writer(path);
+        for (const auto &ref : sampleTrace())
+            writer.write(ref);
+        writer.close();
+        EXPECT_EQ(writer.recordsWritten(), sampleTrace().size());
+    }
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.recordCount(), sampleTrace().size());
+    auto refs = collect(reader, 100);
+    EXPECT_EQ(refs, sampleTrace());
+}
+
+TEST_F(TraceFileTest, ResetRewinds)
+{
+    {
+        TraceFileWriter writer(path);
+        VectorSource src("sample", sampleTrace());
+        EXPECT_EQ(writer.writeAll(src), sampleTrace().size());
+    }
+    TraceFileReader reader(path);
+    auto first = collect(reader, 100);
+    reader.reset();
+    auto second = collect(reader, 100);
+    EXPECT_EQ(first, second);
+}
+
+TEST_F(TraceFileTest, LargeTraceBuffering)
+{
+    std::vector<MemRef> big;
+    for (std::uint64_t i = 0; i < 200000; ++i)
+        big.push_back(instRef(0x400000 + 4 * i, i % 977 == 0));
+    {
+        TraceFileWriter writer(path);
+        for (const auto &ref : big)
+            writer.write(ref);
+    } // destructor closes
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.recordCount(), big.size());
+    auto refs = collect(reader, big.size() + 1);
+    EXPECT_EQ(refs, big);
+}
+
+TEST_F(TraceFileTest, MissingFileIsFatal)
+{
+    EXPECT_THROW(TraceFileReader("/nonexistent/nope.gtrc"),
+                 FatalError);
+}
+
+TEST_F(TraceFileTest, BadMagicIsFatal)
+{
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const char junk[32] = "not a trace file at all";
+        std::fwrite(junk, 1, sizeof(junk), f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(TraceFileReader reader(path), FatalError);
+}
+
+} // namespace
+} // namespace gaas::trace

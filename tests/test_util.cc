@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for util: bit operations, logging, the PRNG, and the
+ * fractional cycle accumulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace gaas
+{
+namespace
+{
+
+TEST(BitOps, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(BitOps, FloorCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(BitOps, MaskAndBits)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(4), 0xfu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+    EXPECT_EQ(bits(0xabcd, 4, 8), 0xbcu);
+}
+
+TEST(BitOps, AlignAndDivCeil)
+{
+    EXPECT_EQ(alignUp(0, 16), 0u);
+    EXPECT_EQ(alignUp(1, 16), 16u);
+    EXPECT_EQ(alignUp(16, 16), 16u);
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(8, 4), 2u);
+    EXPECT_EQ(divCeil(9, 4), 3u);
+}
+
+TEST(Types, WordConversions)
+{
+    EXPECT_EQ(wordsToBytes(kw(4)), 16u * 1024);
+    EXPECT_EQ(bytesToWords(16 * 1024), kw(4));
+    EXPECT_EQ(kPageWords, 4u * 1024);
+    EXPECT_EQ(kPageBytes, 16u * 1024);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(gaas_fatal("boom"), FatalError);
+    try {
+        gaas_fatal("value was ", 42);
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("value was 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(12345), b(12345), c(54321);
+    bool all_equal = true;
+    bool any_diff_c = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next64();
+        const auto vb = b.next64();
+        const auto vc = c.next64();
+        all_equal = all_equal && (va == vb);
+        any_diff_c = any_diff_c || (va != vc);
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_c);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(37), 37u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(99);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GeometricMeanApproximatelyCorrect)
+{
+    Rng rng(42);
+    const double target = 12.0;
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(target));
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, target, 0.25);
+}
+
+TEST(Rng, GeometricDegenerateMeanIsOne)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextGeometric(0.5), 1u);
+}
+
+TEST(Rng, ParetoIndexInBounds)
+{
+    Rng rng(21);
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_LT(rng.nextParetoIndex(0.9, 1000), 1000u);
+}
+
+TEST(Rng, ParetoIsSkewedTowardZero)
+{
+    Rng rng(22);
+    const int n = 100000;
+    int low = 0;
+    for (int i = 0; i < n; ++i) {
+        if (rng.nextParetoIndex(1.0, 1 << 20) < 16)
+            ++low;
+    }
+    // A heavy-tailed rank distribution puts a large share of mass on
+    // the first few ranks.
+    EXPECT_GT(low, n / 2);
+}
+
+TEST(Rng, ParetoSmallerAlphaHasHeavierTail)
+{
+    Rng a(31), b(31);
+    const int n = 100000;
+    std::uint64_t deep_light = 0, deep_heavy = 0;
+    for (int i = 0; i < n; ++i) {
+        if (a.nextParetoIndex(1.5, 1 << 20) > 4096)
+            ++deep_light;
+        if (b.nextParetoIndex(0.6, 1 << 20) > 4096)
+            ++deep_heavy;
+    }
+    EXPECT_GT(deep_heavy, deep_light);
+}
+
+TEST(Rng, PickCumulative)
+{
+    Rng rng(17);
+    const double cdf[] = {0.25, 0.75, 1.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.pickCumulative(cdf)];
+    EXPECT_NEAR(counts[0], n * 0.25, n * 0.02);
+    EXPECT_NEAR(counts[1], n * 0.50, n * 0.02);
+    EXPECT_NEAR(counts[2], n * 0.25, n * 0.02);
+}
+
+TEST(FractionAccumulator, ZeroRate)
+{
+    FractionAccumulator acc(0.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(acc.tick(), 0u);
+}
+
+TEST(FractionAccumulator, IntegerRate)
+{
+    FractionAccumulator acc(3.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(acc.tick(), 3u);
+}
+
+TEST(FractionAccumulator, FractionalRateAveragesExactly)
+{
+    FractionAccumulator acc(0.238);
+    std::uint64_t total = 0;
+    const int n = 1000000;
+    for (int i = 0; i < n; ++i) {
+        const auto t = acc.tick();
+        EXPECT_LE(t, 1u);
+        total += t;
+    }
+    EXPECT_NEAR(static_cast<double>(total) / n, 0.238, 1e-4);
+}
+
+TEST(FractionAccumulator, MixedRate)
+{
+    FractionAccumulator acc(2.75);
+    std::uint64_t total = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const auto t = acc.tick();
+        EXPECT_GE(t, 2u);
+        EXPECT_LE(t, 3u);
+        total += t;
+    }
+    EXPECT_NEAR(static_cast<double>(total) / n, 2.75, 1e-4);
+}
+
+TEST(FractionAccumulator, DeterministicSequence)
+{
+    FractionAccumulator a(0.5), b(0.5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.tick(), b.tick());
+}
+
+} // namespace
+} // namespace gaas

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * gaassim: the main simulator front end.
+ *
+ * Runs a configuration (a preset name or a config file) over the
+ * standard synthetic workload or a set of trace files, and writes a
+ * gem5-style flat statistics dump.
+ *
+ * Usage:
+ *   gaassim [--preset NAME | --config FILE]
+ *           [--trace FILE]... [--instructions N] [--warmup N]
+ *           [--mp N] [--slice CYCLES] [--stats FILE]
+ *
+ * Presets: base, write-only, split-l2, fetch-8w, concurrent,
+ *          load-bypass, optimized, exchanged.
+ *
+ * Examples:
+ *   gaassim --preset optimized --instructions 8000000
+ *   gaassim --config my.cfg --trace a.gtrc --trace b.gtrc \
+ *           --stats out/stats.txt
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/config_io.hh"
+#include "core/simulator.hh"
+#include "core/stats_dump.hh"
+#include "trace/compose.hh"
+#include "trace/file.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace gaas;
+
+core::SystemConfig
+presetByName(const std::string &name)
+{
+    if (name == "base")
+        return core::baseline();
+    if (name == "write-only")
+        return core::afterWritePolicy();
+    if (name == "split-l2")
+        return core::afterSplitL2();
+    if (name == "fetch-8w")
+        return core::afterFetchSize();
+    if (name == "concurrent")
+        return core::afterConcurrentIRefill();
+    if (name == "load-bypass")
+        return core::afterLoadBypass();
+    if (name == "optimized")
+        return core::optimized();
+    if (name == "exchanged")
+        return core::splitL2Exchanged();
+    gaas_fatal("unknown preset '", name,
+               "' (base, write-only, split-l2, fetch-8w, "
+               "concurrent, load-bypass, optimized, exchanged)");
+}
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: gaassim [--preset NAME | --config FILE]\n"
+           "               [--trace FILE]... [--instructions N]\n"
+           "               [--warmup N] [--mp N] [--slice CYCLES]\n"
+           "               [--stats FILE]\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto cfg = core::baseline();
+    std::vector<std::string> traces;
+    Count instructions = 4'000'000;
+    Count warmup = ~Count{0}; // default: half the budget
+    unsigned mp = 8;
+    std::string stats_path;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (++i >= argc)
+                    usage();
+                return argv[i];
+            };
+            if (arg == "--preset") {
+                cfg = presetByName(next());
+            } else if (arg == "--config") {
+                cfg = core::loadConfigFile(next());
+            } else if (arg == "--trace") {
+                traces.push_back(next());
+            } else if (arg == "--instructions") {
+                instructions =
+                    std::strtoull(next().c_str(), nullptr, 10);
+            } else if (arg == "--warmup") {
+                warmup = std::strtoull(next().c_str(), nullptr, 10);
+            } else if (arg == "--mp") {
+                mp = static_cast<unsigned>(
+                    std::strtoul(next().c_str(), nullptr, 10));
+            } else if (arg == "--slice") {
+                cfg.timeSliceCycles =
+                    std::strtoull(next().c_str(), nullptr, 10);
+            } else if (arg == "--stats") {
+                stats_path = next();
+            } else {
+                std::cerr << "unknown option " << arg << '\n';
+                usage();
+            }
+        }
+        if (warmup == ~Count{0})
+            warmup = instructions / 2;
+
+        core::Workload wl;
+        if (traces.empty()) {
+            wl = core::Workload::standard(mp);
+        } else {
+            for (const auto &path : traces) {
+                wl.add(std::make_unique<trace::LoopSource>(
+                           std::make_unique<trace::TraceFileReader>(
+                               path)),
+                       1.238, path);
+            }
+        }
+
+        std::cout << cfg.describe() << "\n\n";
+        core::Simulator sim(cfg, std::move(wl));
+        const auto res = sim.run(instructions, warmup);
+        std::cout << res.formatBreakdown();
+
+        if (!stats_path.empty()) {
+            if (core::dumpStatsFile(res, stats_path))
+                std::cout << "[stats: " << stats_path << "]\n";
+        } else {
+            std::cout << '\n';
+            core::dumpStats(res, std::cout);
+        }
+    } catch (const FatalError &err) {
+        std::cerr << err.what() << '\n';
+        return 1;
+    }
+    return 0;
+}
