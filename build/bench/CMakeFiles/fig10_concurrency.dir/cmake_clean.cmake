@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_concurrency.dir/bench_common.cc.o"
+  "CMakeFiles/fig10_concurrency.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig10_concurrency.dir/fig10_concurrency.cc.o"
+  "CMakeFiles/fig10_concurrency.dir/fig10_concurrency.cc.o.d"
+  "fig10_concurrency"
+  "fig10_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_optimized.dir/bench_common.cc.o"
+  "CMakeFiles/fig11_optimized.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig11_optimized.dir/fig11_optimized.cc.o"
+  "CMakeFiles/fig11_optimized.dir/fig11_optimized.cc.o.d"
+  "fig11_optimized"
+  "fig11_optimized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_multiprogramming.dir/bench_common.cc.o"
+  "CMakeFiles/fig2_multiprogramming.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig2_multiprogramming.dir/fig2_multiprogramming.cc.o"
+  "CMakeFiles/fig2_multiprogramming.dir/fig2_multiprogramming.cc.o.d"
+  "fig2_multiprogramming"
+  "fig2_multiprogramming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_multiprogramming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cc" "bench/CMakeFiles/fig3_timeslice.dir/bench_common.cc.o" "gcc" "bench/CMakeFiles/fig3_timeslice.dir/bench_common.cc.o.d"
+  "/root/repo/bench/fig3_timeslice.cc" "bench/CMakeFiles/fig3_timeslice.dir/fig3_timeslice.cc.o" "gcc" "bench/CMakeFiles/fig3_timeslice.dir/fig3_timeslice.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gaas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gaas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gaas_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gaas_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/gaas_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/gaas_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gaas_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gaas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

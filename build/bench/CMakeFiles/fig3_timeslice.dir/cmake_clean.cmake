@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_timeslice.dir/bench_common.cc.o"
+  "CMakeFiles/fig3_timeslice.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig3_timeslice.dir/fig3_timeslice.cc.o"
+  "CMakeFiles/fig3_timeslice.dir/fig3_timeslice.cc.o.d"
+  "fig3_timeslice"
+  "fig3_timeslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_timeslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

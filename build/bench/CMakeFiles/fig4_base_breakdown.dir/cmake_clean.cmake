@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_base_breakdown.dir/bench_common.cc.o"
+  "CMakeFiles/fig4_base_breakdown.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig4_base_breakdown.dir/fig4_base_breakdown.cc.o"
+  "CMakeFiles/fig4_base_breakdown.dir/fig4_base_breakdown.cc.o.d"
+  "fig4_base_breakdown"
+  "fig4_base_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_base_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_write_policy.dir/bench_common.cc.o"
+  "CMakeFiles/fig5_write_policy.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig5_write_policy.dir/fig5_write_policy.cc.o"
+  "CMakeFiles/fig5_write_policy.dir/fig5_write_policy.cc.o.d"
+  "fig5_write_policy"
+  "fig5_write_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_write_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_l2_orgs.dir/bench_common.cc.o"
+  "CMakeFiles/fig6_l2_orgs.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig6_l2_orgs.dir/fig6_l2_orgs.cc.o"
+  "CMakeFiles/fig6_l2_orgs.dir/fig6_l2_orgs.cc.o.d"
+  "fig6_l2_orgs"
+  "fig6_l2_orgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_l2_orgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

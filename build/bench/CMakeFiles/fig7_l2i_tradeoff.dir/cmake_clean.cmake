@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_l2i_tradeoff.dir/bench_common.cc.o"
+  "CMakeFiles/fig7_l2i_tradeoff.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig7_l2i_tradeoff.dir/fig7_l2i_tradeoff.cc.o"
+  "CMakeFiles/fig7_l2i_tradeoff.dir/fig7_l2i_tradeoff.cc.o.d"
+  "fig7_l2i_tradeoff"
+  "fig7_l2i_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_l2i_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_l2d_tradeoff.dir/bench_common.cc.o"
+  "CMakeFiles/fig8_l2d_tradeoff.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig8_l2d_tradeoff.dir/fig8_l2d_tradeoff.cc.o"
+  "CMakeFiles/fig8_l2d_tradeoff.dir/fig8_l2d_tradeoff.cc.o.d"
+  "fig8_l2d_tradeoff"
+  "fig8_l2d_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_l2d_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_improvements.dir/bench_common.cc.o"
+  "CMakeFiles/fig9_improvements.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig9_improvements.dir/fig9_improvements.cc.o"
+  "CMakeFiles/fig9_improvements.dir/fig9_improvements.cc.o.d"
+  "fig9_improvements"
+  "fig9_improvements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_improvements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

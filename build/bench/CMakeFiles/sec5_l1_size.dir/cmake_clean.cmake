@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_l1_size.dir/bench_common.cc.o"
+  "CMakeFiles/sec5_l1_size.dir/bench_common.cc.o.d"
+  "CMakeFiles/sec5_l1_size.dir/sec5_l1_size.cc.o"
+  "CMakeFiles/sec5_l1_size.dir/sec5_l1_size.cc.o.d"
+  "sec5_l1_size"
+  "sec5_l1_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_l1_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprogramming_study.dir/multiprogramming_study.cpp.o"
+  "CMakeFiles/multiprogramming_study.dir/multiprogramming_study.cpp.o.d"
+  "multiprogramming_study"
+  "multiprogramming_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprogramming_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

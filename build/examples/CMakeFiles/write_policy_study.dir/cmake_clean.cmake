@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_policy_study.dir/write_policy_study.cpp.o"
+  "CMakeFiles/write_policy_study.dir/write_policy_study.cpp.o.d"
+  "write_policy_study"
+  "write_policy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_policy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaas_cache.dir/config.cc.o"
+  "CMakeFiles/gaas_cache.dir/config.cc.o.d"
+  "CMakeFiles/gaas_cache.dir/tag_store.cc.o"
+  "CMakeFiles/gaas_cache.dir/tag_store.cc.o.d"
+  "libgaas_cache.a"
+  "libgaas_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaas_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_system.cc" "src/core/CMakeFiles/gaas_core.dir/cache_system.cc.o" "gcc" "src/core/CMakeFiles/gaas_core.dir/cache_system.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/gaas_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/gaas_core.dir/config.cc.o.d"
+  "/root/repo/src/core/config_io.cc" "src/core/CMakeFiles/gaas_core.dir/config_io.cc.o" "gcc" "src/core/CMakeFiles/gaas_core.dir/config_io.cc.o.d"
+  "/root/repo/src/core/cpi.cc" "src/core/CMakeFiles/gaas_core.dir/cpi.cc.o" "gcc" "src/core/CMakeFiles/gaas_core.dir/cpi.cc.o.d"
+  "/root/repo/src/core/simulator.cc" "src/core/CMakeFiles/gaas_core.dir/simulator.cc.o" "gcc" "src/core/CMakeFiles/gaas_core.dir/simulator.cc.o.d"
+  "/root/repo/src/core/stats_dump.cc" "src/core/CMakeFiles/gaas_core.dir/stats_dump.cc.o" "gcc" "src/core/CMakeFiles/gaas_core.dir/stats_dump.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/core/CMakeFiles/gaas_core.dir/workload.cc.o" "gcc" "src/core/CMakeFiles/gaas_core.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/gaas_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gaas_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/gaas_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gaas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/gaas_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gaas_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gaas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaas_core.dir/cache_system.cc.o"
+  "CMakeFiles/gaas_core.dir/cache_system.cc.o.d"
+  "CMakeFiles/gaas_core.dir/config.cc.o"
+  "CMakeFiles/gaas_core.dir/config.cc.o.d"
+  "CMakeFiles/gaas_core.dir/config_io.cc.o"
+  "CMakeFiles/gaas_core.dir/config_io.cc.o.d"
+  "CMakeFiles/gaas_core.dir/cpi.cc.o"
+  "CMakeFiles/gaas_core.dir/cpi.cc.o.d"
+  "CMakeFiles/gaas_core.dir/simulator.cc.o"
+  "CMakeFiles/gaas_core.dir/simulator.cc.o.d"
+  "CMakeFiles/gaas_core.dir/stats_dump.cc.o"
+  "CMakeFiles/gaas_core.dir/stats_dump.cc.o.d"
+  "CMakeFiles/gaas_core.dir/workload.cc.o"
+  "CMakeFiles/gaas_core.dir/workload.cc.o.d"
+  "libgaas_core.a"
+  "libgaas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

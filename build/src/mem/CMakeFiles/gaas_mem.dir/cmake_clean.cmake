@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaas_mem.dir/main_memory.cc.o"
+  "CMakeFiles/gaas_mem.dir/main_memory.cc.o.d"
+  "CMakeFiles/gaas_mem.dir/write_buffer.cc.o"
+  "CMakeFiles/gaas_mem.dir/write_buffer.cc.o.d"
+  "libgaas_mem.a"
+  "libgaas_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaas_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

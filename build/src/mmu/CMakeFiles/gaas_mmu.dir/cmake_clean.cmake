@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaas_mmu.dir/mmu.cc.o"
+  "CMakeFiles/gaas_mmu.dir/mmu.cc.o.d"
+  "CMakeFiles/gaas_mmu.dir/page_table.cc.o"
+  "CMakeFiles/gaas_mmu.dir/page_table.cc.o.d"
+  "CMakeFiles/gaas_mmu.dir/tlb.cc.o"
+  "CMakeFiles/gaas_mmu.dir/tlb.cc.o.d"
+  "libgaas_mmu.a"
+  "libgaas_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaas_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

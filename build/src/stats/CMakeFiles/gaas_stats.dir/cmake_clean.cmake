@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaas_stats.dir/distribution.cc.o"
+  "CMakeFiles/gaas_stats.dir/distribution.cc.o.d"
+  "CMakeFiles/gaas_stats.dir/table.cc.o"
+  "CMakeFiles/gaas_stats.dir/table.cc.o.d"
+  "libgaas_stats.a"
+  "libgaas_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaas_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/benchmark.cc" "src/synth/CMakeFiles/gaas_synth.dir/benchmark.cc.o" "gcc" "src/synth/CMakeFiles/gaas_synth.dir/benchmark.cc.o.d"
+  "/root/repo/src/synth/code_model.cc" "src/synth/CMakeFiles/gaas_synth.dir/code_model.cc.o" "gcc" "src/synth/CMakeFiles/gaas_synth.dir/code_model.cc.o.d"
+  "/root/repo/src/synth/data_model.cc" "src/synth/CMakeFiles/gaas_synth.dir/data_model.cc.o" "gcc" "src/synth/CMakeFiles/gaas_synth.dir/data_model.cc.o.d"
+  "/root/repo/src/synth/suite.cc" "src/synth/CMakeFiles/gaas_synth.dir/suite.cc.o" "gcc" "src/synth/CMakeFiles/gaas_synth.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/gaas_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gaas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaas_synth.dir/benchmark.cc.o"
+  "CMakeFiles/gaas_synth.dir/benchmark.cc.o.d"
+  "CMakeFiles/gaas_synth.dir/code_model.cc.o"
+  "CMakeFiles/gaas_synth.dir/code_model.cc.o.d"
+  "CMakeFiles/gaas_synth.dir/data_model.cc.o"
+  "CMakeFiles/gaas_synth.dir/data_model.cc.o.d"
+  "CMakeFiles/gaas_synth.dir/suite.cc.o"
+  "CMakeFiles/gaas_synth.dir/suite.cc.o.d"
+  "libgaas_synth.a"
+  "libgaas_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaas_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/compose.cc" "src/trace/CMakeFiles/gaas_trace.dir/compose.cc.o" "gcc" "src/trace/CMakeFiles/gaas_trace.dir/compose.cc.o.d"
+  "/root/repo/src/trace/file.cc" "src/trace/CMakeFiles/gaas_trace.dir/file.cc.o" "gcc" "src/trace/CMakeFiles/gaas_trace.dir/file.cc.o.d"
+  "/root/repo/src/trace/patterns.cc" "src/trace/CMakeFiles/gaas_trace.dir/patterns.cc.o" "gcc" "src/trace/CMakeFiles/gaas_trace.dir/patterns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gaas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

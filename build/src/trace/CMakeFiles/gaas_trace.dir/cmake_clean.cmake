@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaas_trace.dir/compose.cc.o"
+  "CMakeFiles/gaas_trace.dir/compose.cc.o.d"
+  "CMakeFiles/gaas_trace.dir/file.cc.o"
+  "CMakeFiles/gaas_trace.dir/file.cc.o.d"
+  "CMakeFiles/gaas_trace.dir/patterns.cc.o"
+  "CMakeFiles/gaas_trace.dir/patterns.cc.o.d"
+  "libgaas_trace.a"
+  "libgaas_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaas_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

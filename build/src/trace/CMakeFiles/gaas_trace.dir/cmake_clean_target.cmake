@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgaas_trace.a"
+)

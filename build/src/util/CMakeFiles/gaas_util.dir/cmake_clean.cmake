@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaas_util.dir/logging.cc.o"
+  "CMakeFiles/gaas_util.dir/logging.cc.o.d"
+  "CMakeFiles/gaas_util.dir/random.cc.o"
+  "CMakeFiles/gaas_util.dir/random.cc.o.d"
+  "libgaas_util.a"
+  "libgaas_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaas_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

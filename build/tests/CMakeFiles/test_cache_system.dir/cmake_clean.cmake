@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_system.dir/test_cache_system.cc.o"
+  "CMakeFiles/test_cache_system.dir/test_cache_system.cc.o.d"
+  "test_cache_system"
+  "test_cache_system.pdb"
+  "test_cache_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

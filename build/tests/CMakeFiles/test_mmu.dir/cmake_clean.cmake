@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmu.dir/test_mmu.cc.o"
+  "CMakeFiles/test_mmu.dir/test_mmu.cc.o.d"
+  "test_mmu"
+  "test_mmu.pdb"
+  "test_mmu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

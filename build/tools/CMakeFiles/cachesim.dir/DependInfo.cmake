@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/cachesim.cc" "tools/CMakeFiles/cachesim.dir/cachesim.cc.o" "gcc" "tools/CMakeFiles/cachesim.dir/cachesim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/gaas_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gaas_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gaas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachesim.dir/cachesim.cc.o"
+  "CMakeFiles/cachesim.dir/cachesim.cc.o.d"
+  "cachesim"
+  "cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

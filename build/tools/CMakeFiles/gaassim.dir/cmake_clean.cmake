@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaassim.dir/gaassim.cc.o"
+  "CMakeFiles/gaassim.dir/gaassim.cc.o.d"
+  "gaassim"
+  "gaassim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaassim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
