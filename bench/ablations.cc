@@ -23,15 +23,25 @@ main()
     bench::banner("Ablations", "write buffer depth, drain overlap, "
                                "page colouring, TLB penalty");
 
+    // Each table enqueues its whole ladder and runs it as one
+    // parallel sweep before tabulating.
+    bench::Sweep sweep;
+
     {
         stats::Table t({"WB depth", "CPI", "WB-wait CPI",
                         "full-stall pushes"});
         t.setTitle("Write-buffer depth (write-only policy, 1W "
                    "entries)");
-        for (unsigned depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        const unsigned depths[] = {1u, 2u, 4u, 8u, 16u, 32u};
+        for (unsigned depth : depths) {
             auto cfg = core::afterWritePolicy();
             cfg.wbDepth = depth;
-            const auto res = bench::run(cfg);
+            sweep.add(cfg);
+        }
+        const auto results = sweep.run();
+        std::size_t job = 0;
+        for (unsigned depth : depths) {
+            const auto &res = results[job++];
             t.newRow()
                 .cell(static_cast<std::uint64_t>(depth))
                 .cell(res.cpi(), 4)
@@ -46,10 +56,16 @@ main()
                         "WB-wait CPI"});
         t.setTitle("Streamed-drain latency overlap (write-only "
                    "policy, 6-cycle L2)");
-        for (Cycles overlap : {0u, 1u, 2u, 3u}) {
+        const Cycles overlaps[] = {0u, 1u, 2u, 3u};
+        for (Cycles overlap : overlaps) {
             auto cfg = core::afterWritePolicy();
             cfg.wbStreamOverlap = overlap;
-            const auto res = bench::run(cfg);
+            sweep.add(cfg);
+        }
+        const auto results = sweep.run();
+        std::size_t job = 0;
+        for (Cycles overlap : overlaps) {
+            const auto &res = results[job++];
             t.newRow()
                 .cell(static_cast<std::uint64_t>(overlap))
                 .cell(res.cpi(), 4)
@@ -63,10 +79,16 @@ main()
                         "L2 miss ratio"});
         t.setTitle("Page colouring vs random page placement "
                    "(base architecture)");
-        for (bool coloring : {true, false}) {
+        const bool colorings[] = {true, false};
+        for (bool coloring : colorings) {
             auto cfg = core::baseline();
             cfg.mmu.pageTable.coloring = coloring;
-            const auto res = bench::run(cfg);
+            sweep.add(cfg);
+        }
+        const auto results = sweep.run();
+        std::size_t job = 0;
+        for (bool coloring : colorings) {
+            const auto &res = results[job++];
             t.newRow()
                 .cell(coloring ? "page colouring" : "random")
                 .cell(res.cpi(), 4)
@@ -84,10 +106,16 @@ main()
                         "ITLB miss ratio", "DTLB miss ratio"});
         t.setTitle("TLB miss penalty sensitivity (base "
                    "architecture)");
-        for (Cycles penalty : {0u, 10u, 20u, 40u}) {
+        const Cycles penalties[] = {0u, 10u, 20u, 40u};
+        for (Cycles penalty : penalties) {
             auto cfg = core::baseline();
             cfg.mmu.tlbMissPenalty = penalty;
-            const auto res = bench::run(cfg);
+            sweep.add(cfg);
+        }
+        const auto results = sweep.run();
+        std::size_t job = 0;
+        for (Cycles penalty : penalties) {
+            const auto &res = results[job++];
             t.newRow()
                 .cell(static_cast<std::uint64_t>(penalty))
                 .cell(res.cpi(), 4)
@@ -106,19 +134,33 @@ main()
                         "CPI @10cy", "CPI @14cy"});
         t.setTitle("Write-policy trade-off vs L1 size (the "
                    "crossover access time grows with L1)");
-        for (std::uint64_t l1 : {2u * 1024, 4u * 1024, 8u * 1024}) {
-            for (auto policy : {core::WritePolicy::WriteBack,
-                                core::WritePolicy::WriteOnly}) {
-                t.newRow()
-                    .cell(std::to_string(l1 / 1024) + "KW")
-                    .cell(core::writePolicyName(policy));
-                for (Cycles access : {6u, 10u, 14u}) {
+        const std::uint64_t l1Sizes[] = {2u * 1024, 4u * 1024,
+                                         8u * 1024};
+        const core::WritePolicy policies[] = {
+            core::WritePolicy::WriteBack,
+            core::WritePolicy::WriteOnly};
+        const Cycles accessTimes[] = {6u, 10u, 14u};
+        for (std::uint64_t l1 : l1Sizes) {
+            for (auto policy : policies) {
+                for (Cycles access : accessTimes) {
                     auto cfg = core::withWritePolicy(
                         core::baseline(), policy);
                     cfg.l1i.sizeWords = cfg.l1d.sizeWords = l1;
                     cfg.l2.accessTime = access;
-                    const auto res = bench::run(cfg);
-                    t.cell(res.cpi(), 4);
+                    sweep.add(cfg);
+                }
+            }
+        }
+        const auto results = sweep.run();
+        std::size_t job = 0;
+        for (std::uint64_t l1 : l1Sizes) {
+            for (auto policy : policies) {
+                t.newRow()
+                    .cell(std::to_string(l1 / 1024) + "KW")
+                    .cell(core::writePolicyName(policy));
+                for (Cycles access : accessTimes) {
+                    (void)access;
+                    t.cell(results[job++].cpi(), 4);
                 }
             }
         }

@@ -1,7 +1,11 @@
 #include "bench_common.hh"
 
 #include <cstdlib>
+#include <filesystem>
+#include <iomanip>
 #include <iostream>
+
+#include "util/logging.hh"
 
 namespace gaas::bench
 {
@@ -72,11 +76,55 @@ runScaled(const core::SystemConfig &config, unsigned factor)
                              mpLevel(), warmupBudget() * factor);
 }
 
+std::size_t
+Sweep::add(const core::SystemConfig &config)
+{
+    return add(config, mpLevel());
+}
+
+std::size_t
+Sweep::add(const core::SystemConfig &config, unsigned mp_level)
+{
+    jobs.push_back(core::SweepJob{config, mp_level,
+                                  instructionBudget(),
+                                  warmupBudget(), {}});
+    return jobs.size() - 1;
+}
+
+std::size_t
+Sweep::addScaled(const core::SystemConfig &config, unsigned factor)
+{
+    jobs.push_back(core::SweepJob{config, mpLevel(),
+                                  instructionBudget() * factor,
+                                  warmupBudget() * factor, {}});
+    return jobs.size() - 1;
+}
+
+std::vector<core::SimResult>
+Sweep::run()
+{
+    core::SweepStats stats;
+    auto results = core::runSweep(jobs, 0, &stats);
+    jobs.clear();
+    std::cout << "[sweep: " << stats.jobs << " configs on "
+              << stats.workers << " worker(s), " << std::fixed
+              << std::setprecision(2) << stats.wallSeconds
+              << " s wall, " << std::setprecision(0)
+              << stats.refsPerSecond() << " refs/s aggregate]\n"
+              << std::defaultfloat << '\n';
+    return results;
+}
+
 void
 emit(const stats::Table &table, const std::string &name)
 {
     table.print(std::cout);
-    const std::string path = csvDir() + "/" + name + ".csv";
+    const std::string dir = csvDir();
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        warn("could not create CSV dir ", dir, ": ", ec.message());
+    const std::string path = dir + "/" + name + ".csv";
     if (table.writeCsv(path))
         std::cout << "[csv: " << path << "]\n";
     std::cout << '\n';
@@ -87,7 +135,8 @@ banner(const std::string &figure, const std::string &caption)
 {
     std::cout << "=== " << figure << ": " << caption << " ===\n"
               << "workload: MP level " << mpLevel() << ", "
-              << instructionBudget() << " instructions per point\n\n";
+              << instructionBudget() << " instructions per point, "
+              << core::sweepWorkers() << " sweep worker(s)\n\n";
 }
 
 } // namespace gaas::bench

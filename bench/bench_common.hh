@@ -1,14 +1,16 @@
 /**
  * @file
  * Shared plumbing for the figure/table bench binaries: instruction
- * budgets (overridable via environment), timed simulation runs, and
- * CSV output placement.
+ * budgets (overridable via environment), timed simulation runs, the
+ * parallel sweep front end, and CSV output placement.
  *
  * Environment knobs:
  *   GAAS_BENCH_INSTRUCTIONS  per-configuration instruction budget
  *                            (default 4,000,000; L2-size sweeps
  *                            scale it up further -- see runScaled)
  *   GAAS_BENCH_MP            multiprogramming level (default 8)
+ *   GAAS_BENCH_JOBS          sweep worker threads (default
+ *                            hardware_concurrency)
  *   GAAS_BENCH_CSV_DIR       where CSVs are written
  *                            (default ./bench_out)
  */
@@ -16,10 +18,13 @@
 #ifndef GAAS_BENCH_COMMON_HH
 #define GAAS_BENCH_COMMON_HH
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "core/config.hh"
 #include "core/simulator.hh"
+#include "core/sweep.hh"
 #include "stats/table.hh"
 #include "util/types.hh"
 
@@ -52,6 +57,46 @@ core::SimResult run(const core::SystemConfig &config,
  */
 core::SimResult runScaled(const core::SystemConfig &config,
                           unsigned factor);
+
+/**
+ * Deferred-execution front end to core::runSweep: a figure binary
+ * enqueues its whole configuration ladder up front, then reads the
+ * results back in enqueue order -- turning the figure's wall clock
+ * from the sum of its configurations into (roughly) the max.
+ *
+ * The add() overloads mirror the immediate run()/runScaled() calls
+ * they replace and return the job's index into run()'s result
+ * vector.  Results are bit-identical to the serial path.
+ */
+class Sweep
+{
+  public:
+    /** Enqueue @p config at the standard budget and MP level. */
+    std::size_t add(const core::SystemConfig &config);
+
+    /** Enqueue at an explicit multiprogramming level. */
+    std::size_t add(const core::SystemConfig &config,
+                    unsigned mp_level);
+
+    /** Enqueue with the budget scaled by @p factor (see
+     *  runScaled). */
+    std::size_t addScaled(const core::SystemConfig &config,
+                          unsigned factor);
+
+    /** Number of jobs enqueued so far. */
+    std::size_t size() const { return jobs.size(); }
+
+    /**
+     * Run every enqueued job across GAAS_BENCH_JOBS workers, print a
+     * one-line wall-clock/throughput summary, and return the results
+     * in enqueue order.  The queue is cleared so the Sweep can be
+     * reused (the ablations binary runs one sweep per table).
+     */
+    std::vector<core::SimResult> run();
+
+  private:
+    std::vector<core::SweepJob> jobs;
+};
 
 /** Print @p table to stdout and write bench_out/<name>.csv. */
 void emit(const stats::Table &table, const std::string &name);

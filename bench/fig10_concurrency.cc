@@ -46,12 +46,17 @@ main()
     t.setTitle("Concurrency ladder (assoc-WB-bypass is the "
                "comparison for the dirty-bit scheme)");
 
+    bench::Sweep sweep;
+    for (const auto &cfg : steps)
+        sweep.addScaled(cfg, 3);
+    const auto results = sweep.run();
+
     double cpi_base = 0, cpi_irefill = 0, cpi_assoc = 0;
     double cpi_dirtybit = 0, cpi_full = 0;
     int col = 0;
     double prev = 0;
     for (const auto &cfg : steps) {
-        const auto res = bench::runScaled(cfg, 3);
+        const auto &res = results[static_cast<std::size_t>(col)];
         t.newRow()
             .cell(cfg.name)
             .cell(res.cpi(), 4)

@@ -42,13 +42,23 @@ main()
     double crossover = 0;
     double prev_delta = 0;
 
-    for (Cycles access : {2u, 4u, 6u, 8u, 10u}) {
-        t.newRow().cell(static_cast<std::uint64_t>(access));
-        double cpi_wb = 0, cpi_wo = 0;
+    const Cycles accessTimes[] = {2u, 4u, 6u, 8u, 10u};
+    bench::Sweep sweep;
+    for (Cycles access : accessTimes) {
         for (const auto policy : policies) {
             auto cfg = core::withWritePolicy(core::baseline(), policy);
             cfg.l2.accessTime = access;
-            const auto res = bench::run(cfg);
+            sweep.add(cfg);
+        }
+    }
+    const auto results = sweep.run();
+
+    std::size_t job = 0;
+    for (Cycles access : accessTimes) {
+        t.newRow().cell(static_cast<std::uint64_t>(access));
+        double cpi_wb = 0, cpi_wo = 0;
+        for (const auto policy : policies) {
+            const auto &res = results[job++];
             t.cell(res.cpi(), 4);
             if (policy == core::WritePolicy::WriteBack)
                 cpi_wb = res.cpi();

@@ -49,18 +49,30 @@ main()
     double uni_cpi_1024 = 0, split_cpi_1024 = 0;
     double uni_mr_1024 = 0, split_mr_1024 = 0;
 
+    // Enqueue the whole 28-configuration ladder, run it across the
+    // sweep workers, then tabulate in the same nested order.
+    bench::Sweep sweep;
     for (std::uint64_t size = 16 * 1024; size <= 1024 * 1024;
          size *= 2) {
-        const std::string label = std::to_string(size / 1024) + "K";
-        cpi.newRow().cell(label);
-        mr.newRow().cell(label);
         for (const auto &org : orgs) {
             auto cfg = core::afterWritePolicy();
             cfg.l2Org = org.org;
             cfg.l2.cache.sizeWords = size;
             cfg.l2.cache.assoc = org.assoc;
             cfg.l2.accessTime = org.accessTime;
-            const auto res = bench::runScaled(cfg, 4);
+            sweep.addScaled(cfg, 4);
+        }
+    }
+    const auto results = sweep.run();
+
+    std::size_t job = 0;
+    for (std::uint64_t size = 16 * 1024; size <= 1024 * 1024;
+         size *= 2) {
+        const std::string label = std::to_string(size / 1024) + "K";
+        cpi.newRow().cell(label);
+        mr.newRow().cell(label);
+        for (const auto &org : orgs) {
+            const auto &res = results[job++];
             cpi.cell(res.cpi(), 4);
             mr.cell(res.sys.l2MissRatio(), 4);
 

@@ -29,15 +29,25 @@ main()
     t.setTitle("Instruction-side CPI contribution "
                "(paper: 0.19 .. 0.02, flat beyond 64KW)");
 
-    double best_small_fast = 1e9, best_large_slow = 1e9;
+    bench::Sweep sweep;
     for (std::uint64_t size = 8 * 1024; size <= 512 * 1024;
          size *= 2) {
-        t.newRow().cell(std::to_string(size / 1024) + "K");
         for (unsigned at = 1; at <= 9; ++at) {
             auto cfg = core::afterSplitL2();
             cfg.l2i.cache.sizeWords = size;
             cfg.l2i.accessTime = at;
-            const auto res = bench::runScaled(cfg, 3);
+            sweep.addScaled(cfg, 3);
+        }
+    }
+    const auto results = sweep.run();
+
+    double best_small_fast = 1e9, best_large_slow = 1e9;
+    std::size_t job = 0;
+    for (std::uint64_t size = 8 * 1024; size <= 512 * 1024;
+         size *= 2) {
+        t.newRow().cell(std::to_string(size / 1024) + "K");
+        for (unsigned at = 1; at <= 9; ++at) {
+            const auto &res = results[job++];
             const double contrib = res.perInstruction(
                 res.comp.l1iMiss + res.comp.l2iMiss);
             t.cell(contrib, 4);

@@ -30,15 +30,25 @@ main()
     t.setTitle("Data-side CPI contribution "
                "(paper: 0.72 .. 0.06, still falling at 512KW)");
 
-    std::vector<double> at6_curve;
+    bench::Sweep sweep;
     for (std::uint64_t size = 8 * 1024; size <= 512 * 1024;
          size *= 2) {
-        t.newRow().cell(std::to_string(size / 1024) + "K");
         for (unsigned at = 1; at <= 9; ++at) {
             auto cfg = core::afterSplitL2();
             cfg.l2d.cache.sizeWords = size;
             cfg.l2d.accessTime = at;
-            const auto res = bench::runScaled(cfg, 3);
+            sweep.addScaled(cfg, 3);
+        }
+    }
+    const auto results = sweep.run();
+
+    std::vector<double> at6_curve;
+    std::size_t job = 0;
+    for (std::uint64_t size = 8 * 1024; size <= 512 * 1024;
+         size *= 2) {
+        t.newRow().cell(std::to_string(size / 1024) + "K");
+        for (unsigned at = 1; at <= 9; ++at) {
+            const auto &res = results[job++];
             const double contrib = res.perInstruction(
                 res.comp.l1dMiss + res.comp.l2dMiss);
             t.cell(contrib, 4);

@@ -35,12 +35,17 @@ main()
     t.setTitle("The Fig. 9 preset ladder (last row is the swap "
                "check, not a ladder step)");
 
+    bench::Sweep sweep;
+    for (const auto &cfg : steps)
+        sweep.addScaled(cfg, 3);
+    const auto results = sweep.run();
+
     double mem_prev = 0;
     double mem_col1 = 0, mem_col2 = 0, mem_swap = 0;
     double cpi_col2 = 0, cpi_col3 = 0;
     int col = 0;
     for (const auto &cfg : steps) {
-        const auto res = bench::runScaled(cfg, 3);
+        const auto &res = results[static_cast<std::size_t>(col)];
         const double mem = res.memCpi();
         t.newRow()
             .cell(cfg.name)

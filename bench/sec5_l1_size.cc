@@ -50,13 +50,20 @@ main()
     t.setTitle("CPI gains vs cycle-time cost "
                "(execution time = CPI x cycle)");
 
-    double base_cpi = 0;
+    bench::Sweep sweep;
     for (const auto &v : variants) {
         auto cfg = core::baseline();
         cfg.l1i.sizeWords = v.l1iWords;
         cfg.l1d.sizeWords = v.l1dWords;
         cfg.l1d.assoc = v.l1dAssoc;
-        const auto res = bench::run(cfg);
+        sweep.add(cfg);
+    }
+    const auto results = sweep.run();
+
+    double base_cpi = 0;
+    std::size_t job = 0;
+    for (const auto &v : variants) {
+        const auto &res = results[job++];
         if (base_cpi == 0)
             base_cpi = res.cpi();
         t.newRow()

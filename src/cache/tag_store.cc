@@ -13,6 +13,7 @@ TagStore::TagStore(const CacheConfig &config, const char *what)
     lineShift = floorLog2(cfg.lineBytes());
     lineMask = mask(lineShift);
     indexBits = floorLog2(cfg.sets());
+    directMapped = cfg.assoc == 1;
     fullValidMask = static_cast<std::uint32_t>(mask(cfg.lineWords));
     lines.assign(cfg.sets() * cfg.assoc, LineState{});
 }
@@ -47,6 +48,8 @@ TagStore::find(Addr addr)
 {
     const std::uint64_t tag = tagOf(addr);
     LineState *base = setBase(setIndex(addr));
+    if (directMapped)
+        return (base->valid && base->tag == tag) ? base : nullptr;
     for (unsigned way = 0; way < cfg.assoc; ++way) {
         LineState &line = base[way];
         if (line.valid && line.tag == tag)
@@ -65,6 +68,8 @@ LineState &
 TagStore::victim(Addr addr)
 {
     LineState *base = setBase(setIndex(addr));
+    if (directMapped)
+        return *base;
     LineState *victim = base;
     for (unsigned way = 0; way < cfg.assoc; ++way) {
         LineState &line = base[way];

@@ -128,6 +128,9 @@ class TagStore
     Addr lineMask;
     unsigned lineShift;
     unsigned indexBits;
+    /** assoc == 1: find()/victim() skip the way loop entirely (the
+     *  paper's most-simulated organisation). */
+    bool directMapped;
     std::uint32_t fullValidMask;
     std::vector<LineState> lines; //!< sets * assoc, set-major
     std::uint64_t lruClock = 0;

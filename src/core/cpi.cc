@@ -54,6 +54,20 @@ SysStats::l2dMissRatio() const
     return ratio(l2dMisses, l2dAccesses);
 }
 
+Count
+SimResult::references() const
+{
+    return sys.ifetches + sys.loads + sys.stores;
+}
+
+double
+SimResult::refsPerSecond() const
+{
+    return hostSeconds > 0.0
+               ? static_cast<double>(references()) / hostSeconds
+               : 0.0;
+}
+
 double
 SimResult::cpi() const
 {

@@ -98,8 +98,23 @@ struct SimResult
     Count contextSwitches = 0;
     Count syscallSwitches = 0;
 
+    /**
+     * Host wall-clock seconds spent inside Simulator::run (warmup
+     * included).  Timing only: this is the one field that is NOT
+     * deterministic, so equality comparisons (the sweep-engine
+     * determinism tests) must exclude it.
+     */
+    double hostSeconds = 0.0;
+
     CpiComponents comp{};
     SysStats sys{};
+
+    /** Total simulated references (ifetches + loads + stores). */
+    Count references() const;
+
+    /** Simulator throughput: references() / hostSeconds.  The paper
+     *  quotes its own simulator at ~240,000 refs/s (Section 3). */
+    double refsPerSecond() const;
 
     /** Total cycles per instruction. */
     double cpi() const;

@@ -1,5 +1,7 @@
 #include "simulator.hh"
 
+#include <chrono>
+
 #include "util/logging.hh"
 
 namespace gaas::core
@@ -23,26 +25,28 @@ Simulator::Simulator(const SystemConfig &config, Workload workload)
 }
 
 bool
+Simulator::refill(ProcState &p)
+{
+    p.bufLen = p.proc.source->nextBatch(p.buffer.data(), kRefBatch);
+    p.bufPos = 0;
+    return p.bufLen > 0;
+}
+
+bool
 Simulator::takeRef(ProcState &p, trace::MemRef &ref)
 {
-    if (p.lookahead) {
-        ref = *p.lookahead;
-        p.lookahead.reset();
-        return true;
-    }
-    return p.proc.source->next(ref);
+    if (p.bufPos == p.bufLen && !refill(p))
+        return false;
+    ref = p.buffer[p.bufPos++];
+    return true;
 }
 
 const trace::MemRef *
 Simulator::peekRef(ProcState &p)
 {
-    if (!p.lookahead) {
-        trace::MemRef ref;
-        if (!p.proc.source->next(ref))
-            return nullptr;
-        p.lookahead = ref;
-    }
-    return &*p.lookahead;
+    if (p.bufPos == p.bufLen && !refill(p))
+        return nullptr;
+    return &p.buffer[p.bufPos];
 }
 
 bool
@@ -147,13 +151,17 @@ Simulator::resetMeasurement()
 SimResult
 Simulator::run(Count total_instructions, Count warmup_instructions)
 {
+    const auto start = std::chrono::steady_clock::now();
     if (warmup_instructions > 0) {
         runLoop(warmup_instructions);
         resetMeasurement();
     }
     runLoop(total_instructions);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
 
     SimResult res;
+    res.hostSeconds = elapsed.count();
     res.configName = cfg.name;
     res.instructions = instructions;
     res.cycles = now - measureStartCycle;

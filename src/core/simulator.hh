@@ -9,7 +9,8 @@
 #ifndef GAAS_CORE_SIMULATOR_HH
 #define GAAS_CORE_SIMULATOR_HH
 
-#include <optional>
+#include <array>
+#include <cstddef>
 #include <vector>
 
 #include "core/cache_system.hh"
@@ -47,15 +48,30 @@ class Simulator
     const CacheSystem &system() const { return sys; }
 
   private:
+    /** References buffered per process per TraceSource::nextBatch
+     *  call, so the hot loop pays one virtual call per kRefBatch
+     *  references instead of one per reference. */
+    static constexpr std::size_t kRefBatch = 64;
+
     /** Scheduler-side state of one process. */
     struct ProcState
     {
         Process proc;
-        std::optional<trace::MemRef> lookahead;
         FractionAccumulator stallAcc;
         bool alive = true;
         Count instructions = 0;
+
+        /** @name Refill buffer (buffer[bufPos..bufLen) pending) */
+        ///@{
+        std::array<trace::MemRef, kRefBatch> buffer;
+        std::size_t bufPos = 0;
+        std::size_t bufLen = 0;
+        ///@}
     };
+
+    /** Refill @p p's buffer; @return false if the trace is
+     *  exhausted. */
+    bool refill(ProcState &p);
 
     bool takeRef(ProcState &p, trace::MemRef &ref);
     const trace::MemRef *peekRef(ProcState &p);

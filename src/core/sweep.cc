@@ -1,0 +1,89 @@
+#include "sweep.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <thread>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace gaas::core
+{
+
+double
+SweepStats::refsPerSecond() const
+{
+    return wallSeconds > 0.0
+               ? static_cast<double>(references) / wallSeconds
+               : 0.0;
+}
+
+unsigned
+sweepWorkers()
+{
+    if (const char *env = std::getenv("GAAS_BENCH_JOBS");
+        env && *env) {
+        char *end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && parsed > 0)
+            return static_cast<unsigned>(parsed);
+        warn("ignoring bad GAAS_BENCH_JOBS=", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+SimResult
+runSweepJob(const SweepJob &job)
+{
+    Workload workload =
+        job.workload ? job.workload() : Workload::standard(job.mpLevel);
+    Simulator sim(job.config, std::move(workload));
+    return sim.run(job.instructions, job.warmup);
+}
+
+std::vector<SimResult>
+runSweep(const std::vector<SweepJob> &jobs, unsigned workers,
+         SweepStats *stats)
+{
+    if (workers == 0)
+        workers = sweepWorkers();
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<SimResult> results;
+    results.reserve(jobs.size());
+
+    if (workers <= 1 || jobs.size() <= 1) {
+        // Serial reference path: also the pooled path's ground truth.
+        for (const auto &job : jobs)
+            results.push_back(runSweepJob(job));
+    } else {
+        ThreadPool pool(workers);
+        std::vector<std::future<SimResult>> futures;
+        futures.reserve(jobs.size());
+        for (const auto &job : jobs) {
+            futures.push_back(
+                pool.submit([&job] { return runSweepJob(job); }));
+        }
+        // Futures are held in submission order, so gathering them in
+        // order restores determinism no matter how the workers
+        // interleaved.
+        for (auto &future : futures)
+            results.push_back(future.get());
+    }
+
+    if (stats) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        stats->jobs = jobs.size();
+        stats->workers = workers;
+        stats->wallSeconds = elapsed.count();
+        stats->references = 0;
+        for (const auto &res : results)
+            stats->references += res.references();
+    }
+    return results;
+}
+
+} // namespace gaas::core

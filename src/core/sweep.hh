@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The parallel design-space sweep engine.
+ *
+ * Every point of the paper's evaluation -- a (configuration,
+ * multiprogramming level, instruction budget) triple -- is an
+ * independent simulation, so a figure's whole ladder can run across
+ * hardware threads: each job builds its own Workload (own trace
+ * generators, own RNG state) and its own Simulator, touching no
+ * shared mutable state.  Results come back in submission order and
+ * are bit-identical to a serial run of the same jobs.
+ *
+ * Worker count: the @p workers argument, else GAAS_BENCH_JOBS, else
+ * hardware_concurrency.
+ */
+
+#ifndef GAAS_CORE_SWEEP_HH
+#define GAAS_CORE_SWEEP_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/simulator.hh"
+#include "core/workload.hh"
+#include "util/types.hh"
+
+namespace gaas::core
+{
+
+/** One independent simulation of a design-space sweep. */
+struct SweepJob
+{
+    SystemConfig config;
+
+    /** Multiprogramming level for the standard workload. */
+    unsigned mpLevel = 8;
+
+    /** Measured instruction budget (Simulator::run's first arg). */
+    Count instructions = 0;
+
+    /** Warmup instructions before measurement starts. */
+    Count warmup = 0;
+
+    /**
+     * Optional workload builder, called on the worker that runs the
+     * job.  When empty the standard looping workload at mpLevel is
+     * built.  Tests use this to inject finite (exhaustible) traces.
+     */
+    std::function<Workload()> workload;
+};
+
+/** Aggregate wall-clock accounting of one runSweep() call. */
+struct SweepStats
+{
+    std::size_t jobs = 0;
+    unsigned workers = 0;
+    double wallSeconds = 0.0;
+
+    /** Sum of SimResult::references() over the whole sweep. */
+    Count references = 0;
+
+    /** End-to-end sweep throughput (all workers combined). */
+    double refsPerSecond() const;
+};
+
+/**
+ * Worker count used when runSweep is called with workers == 0:
+ * GAAS_BENCH_JOBS if set and positive, else hardware_concurrency
+ * (floor 1).
+ */
+unsigned sweepWorkers();
+
+/**
+ * Run one job (build its workload, simulate, return the result).
+ * This is the exact function the pool workers execute, exposed so
+ * tests can compare serial against pooled execution.
+ */
+SimResult runSweepJob(const SweepJob &job);
+
+/**
+ * Run @p jobs across @p workers threads (0 = sweepWorkers()).
+ *
+ * @param stats filled with wall-clock/throughput totals if non-null
+ * @return one SimResult per job, in submission order; bit-identical
+ *         to running the jobs serially (hostSeconds excepted)
+ */
+std::vector<SimResult> runSweep(const std::vector<SweepJob> &jobs,
+                                unsigned workers = 0,
+                                SweepStats *stats = nullptr);
+
+} // namespace gaas::core
+
+#endif // GAAS_CORE_SWEEP_HH

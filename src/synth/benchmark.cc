@@ -34,54 +34,101 @@ SyntheticBenchmark::SyntheticBenchmark(BenchmarkSpec spec_)
     if (benchSpec.simInstructions == 0)
         gaas_fatal("benchmark ", benchSpec.name,
                    ": simInstructions must be nonzero");
+
+    syscallProb = benchSpec.syscallsPerMInstr * 1e-6;
+    burstMean = std::max(benchSpec.data.storeBurstMean, 1.0);
+    storeTrigger = benchSpec.storeFrac / burstMean;
+    burstLen = GeometricSampler(burstMean);
+    syscallThresh = bernoulliThreshold(syscallProb);
+    loadThresh = bernoulliThreshold(benchSpec.loadFrac);
+    dataThresh = bernoulliThreshold(benchSpec.loadFrac + storeTrigger);
 }
 
 bool
 SyntheticBenchmark::next(trace::MemRef &ref)
 {
+    // Degenerate single-reference batch.  One implementation defines
+    // the stream, so the per-call and batched paths cannot drift; the
+    // price is that every next() call re-pays the loop preamble the
+    // batch path amortises, which is exactly why the Simulator
+    // consumes this source through nextBatch.
+    return nextBatch(&ref, 1) == 1;
+}
+
+std::size_t
+SyntheticBenchmark::nextBatch(trace::MemRef *out, std::size_t n)
+{
+    // The generator hot loop.  Per-instruction invariants (the
+    // burst-trigger division, the syscall probability) are hoisted
+    // into members at construction, the bernoulli tests use their
+    // exact integer-threshold forms (see bernoulliThreshold), and
+    // data references are written straight into the output buffer --
+    // only a reference that would overflow the batch goes through
+    // the pendingData hand-off.
+    std::size_t produced = 0;
+    if (n == 0)
+        return 0;
     if (havePending) {
-        ref = pendingData;
+        out[produced++] = pendingData;
         havePending = false;
-        return true;
-    }
-    if (instructionsEmitted >= benchSpec.simInstructions)
-        return false;
-
-    ++instructionsEmitted;
-    ref.addr = code.nextPc();
-    ref.kind = trace::RefKind::Inst;
-    ref.partialWord = false;
-    ref.syscall =
-        mixRng.nextBernoulli(benchSpec.syscallsPerMInstr * 1e-6);
-
-    // At most one data reference per instruction (load/store
-    // architecture).  Stores come in word-sequential bursts (see
-    // DataParams::storeBurstMean); the burst-trigger probability is
-    // scaled down so the overall store fraction stays at storeFrac.
-    if (storeBurstLeft > 0) {
-        --storeBurstLeft;
-        storeBurstAddr += kWordBytes;
-        pendingData = trace::storeRef(storeBurstAddr, false);
-        havePending = true;
-        return true;
     }
 
-    const double burst_mean =
-        std::max(benchSpec.data.storeBurstMean, 1.0);
-    const double store_trigger = benchSpec.storeFrac / burst_mean;
-    const double r = mixRng.nextDouble();
-    if (r < benchSpec.loadFrac) {
-        pendingData = trace::loadRef(data.nextLoad());
-        havePending = true;
-    } else if (r < benchSpec.loadFrac + store_trigger) {
-        const Addr addr = data.nextStore();
-        pendingData =
-            trace::storeRef(addr, data.nextStoreIsPartial());
-        havePending = true;
-        storeBurstAddr = addr;
-        storeBurstLeft = mixRng.nextGeometric(burst_mean) - 1;
+    // Mutable generator state lives in locals for the loop: the
+    // opaque model calls (code.nextPc's slow path, data.nextLoad)
+    // could alias *this, so member accesses would otherwise be
+    // reloaded around every one of them.
+    const Count budget = benchSpec.simInstructions;
+    Count emitted = instructionsEmitted;
+    Count burstLeft = storeBurstLeft;
+    Addr burstAddr = storeBurstAddr;
+    Rng rng = mixRng;
+
+    while (produced < n && emitted < budget) {
+        ++emitted;
+        trace::MemRef &inst = out[produced++];
+        inst.addr = code.nextPc();
+        inst.kind = trace::RefKind::Inst;
+        inst.partialWord = false;
+        inst.syscall = (rng.next64() >> 11) < syscallThresh;
+
+        // At most one data reference per instruction (load/store
+        // architecture); stores come in word-sequential bursts whose
+        // trigger probability is scaled so the overall fraction
+        // stays at storeFrac.
+        trace::MemRef data_ref;
+        if (burstLeft > 0) {
+            --burstLeft;
+            burstAddr += kWordBytes;
+            data_ref = trace::storeRef(burstAddr, false);
+        } else {
+            const std::uint64_t r = rng.next64() >> 11;
+            if (r < loadThresh) {
+                data_ref = trace::loadRef(data.nextLoad());
+            } else if (r < dataThresh) {
+                const Addr addr = data.nextStore();
+                data_ref =
+                    trace::storeRef(addr, data.nextStoreIsPartial());
+                burstAddr = addr;
+                burstLeft = burstLen.draw(rng) - 1;
+            } else {
+                continue; // no data reference this instruction
+            }
+        }
+        if (produced < n) {
+            out[produced++] = data_ref;
+        } else {
+            // Batch full mid-instruction: hand the data reference
+            // over to the next call.
+            pendingData = data_ref;
+            havePending = true;
+        }
     }
-    return true;
+
+    instructionsEmitted = emitted;
+    storeBurstLeft = burstLeft;
+    storeBurstAddr = burstAddr;
+    mixRng = rng;
+    return produced;
 }
 
 void

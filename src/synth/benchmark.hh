@@ -90,6 +90,8 @@ class SyntheticBenchmark : public trace::TraceSource
     explicit SyntheticBenchmark(BenchmarkSpec spec);
 
     bool next(trace::MemRef &ref) override;
+    std::size_t nextBatch(trace::MemRef *out,
+                          std::size_t n) override;
     void reset() override;
     std::string name() const override;
 
@@ -103,6 +105,19 @@ class SyntheticBenchmark : public trace::TraceSource
     CodeModel code;
     DataModel data;
     Rng mixRng;
+
+    // Per-instruction invariants hoisted out of the hot path (the
+    // spec is immutable after construction).
+    double syscallProb = 0.0;
+    double burstMean = 1.0;
+    double storeTrigger = 0.0;
+    GeometricSampler burstLen;
+
+    // Exact integer forms of the per-instruction bernoulli tests,
+    // used by the batched loop (see bernoulliThreshold).
+    std::uint64_t syscallThresh = 0;
+    std::uint64_t loadThresh = 0;
+    std::uint64_t dataThresh = 0;
 
     Count instructionsEmitted = 0;
     trace::MemRef pendingData;

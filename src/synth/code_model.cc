@@ -94,6 +94,8 @@ CodeModel::CodeModel(const CodeParams &params_, std::uint64_t seed_)
         std::swap(jumpOrder[i], jumpOrder[j]);
     }
 
+    jumpPareto = ParetoSampler(params.jumpZipfAlpha, procs.size());
+
     startWalk();
 }
 
@@ -198,7 +200,7 @@ CodeModel::reset()
 }
 
 Addr
-CodeModel::nextPc()
+CodeModel::walkToNextRun()
 {
     while (true) {
         if (runPos < runLen) {
@@ -212,8 +214,7 @@ CodeModel::nextPc()
         // jumpZipfAlpha).
         if (params.jumpProb > 0.0 &&
             walkRng.nextBernoulli(params.jumpProb)) {
-            const auto rank = walkRng.nextParetoIndex(
-                params.jumpZipfAlpha, procs.size());
+            const auto rank = jumpPareto.draw(walkRng);
             const std::uint32_t target = jumpOrder[rank];
             stack.clear();
             stack.push_back(Frame{target, &procs[target].body, 0, 1});

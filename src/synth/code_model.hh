@@ -39,7 +39,14 @@ class CodeModel
 
     /** @return the next instruction address (never exhausts: the
      *  program's main procedure restarts when it completes). */
-    Addr nextPc();
+    Addr
+    nextPc()
+    {
+        // Fast path: still inside the current straight-line run.
+        if (runPos < runLen)
+            return runBase + wordsToBytes(runPos++);
+        return walkToNextRun();
+    }
 
     /** Restart the walk (same program, same draw sequence). */
     void reset();
@@ -83,6 +90,10 @@ class CodeModel
         std::uint64_t itersLeft;   //!< remaining repeats of seq
     };
 
+    /** Slow path of nextPc(): advance the control stack until a new
+     *  run starts and return its first instruction address. */
+    Addr walkToNextRun();
+
     std::vector<std::uint32_t> buildSeq(std::uint32_t proc_id,
                                         unsigned depth,
                                         std::uint64_t &budget_words);
@@ -100,6 +111,8 @@ class CodeModel
     /** Jump-popularity rank -> procedure id (fixed permutation, so
      *  the hot set is scattered through the text image). */
     std::vector<std::uint32_t> jumpOrder;
+    /** Precomputed jump-target popularity distribution. */
+    ParetoSampler jumpPareto;
     std::uint64_t totalWords = 0;
 
     std::vector<Frame> stack;

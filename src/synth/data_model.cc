@@ -99,6 +99,21 @@ DataModel::DataModel(const DataParams &params_, std::uint64_t seed_)
     globalHeadWords = base_rng.nextBounded(globalWordCount);
     heapHeadLines = base_rng.nextBounded(heapLineCount);
 
+    globalPareto = ParetoSampler(params.globalAlpha, globalWordCount);
+    heapPareto = ParetoSampler(params.heapAlpha, heapLineCount);
+    stackStoreOffset = GeometricSampler(3.0);
+    stackLoadOffset = GeometricSampler(10.0);
+
+    sameLineThresh = bernoulliThreshold(params.sameLineBurstProb);
+    partialStoreThresh =
+        bernoulliThreshold(params.partialWordStoreFrac);
+    stackCallThresh = bernoulliThreshold(0.05);
+    stackReturnThresh = bernoulliThreshold(0.10);
+    for (unsigned i = 0; i < 4; ++i) {
+        loadCdfThresh[i] = bernoulliThreshold(loadCdf[i]);
+        storeCdfThresh[i] = bernoulliThreshold(storeCdf[i]);
+    }
+
     // Page-granular per-program region offsets (word units): distinct
     // programs must not share page colours for their hot regions, or
     // a physically-indexed direct-mapped L2 sees all processes
@@ -159,13 +174,13 @@ DataModel::stackAddr(bool is_store)
     // The frame pointer random-walks within [min, stackWords), and
     // accesses land geometrically close to the top of the current
     // frame -- so most stack traffic hits a few hot lines.
-    const double r = rng.nextDouble();
-    if (r < 0.05) {
+    const std::uint64_t r = rng.next64() >> 11;
+    if (r < stackCallThresh) {
         // Call: push a new frame.
         const std::uint64_t frame = 4 + rng.nextBounded(28);
         stackDepth = std::min(stackDepth + frame,
                               params.stackWords - 1);
-    } else if (r < 0.10) {
+    } else if (r < stackReturnThresh) {
         // Return: pop.
         const std::uint64_t frame = 4 + rng.nextBounded(28);
         stackDepth = stackDepth > frame ? stackDepth - frame : 4;
@@ -175,7 +190,8 @@ DataModel::stackAddr(bool is_store)
     // keeps read-after-write to freshly written lines modest, as in
     // real code (it decides how much of subblock placement's gain
     // comes from reads; Section 6 puts that under 20%).
-    std::uint64_t off = rng.nextGeometric(is_store ? 3.0 : 10.0) - 1;
+    std::uint64_t off =
+        (is_store ? stackStoreOffset : stackLoadOffset).draw(rng) - 1;
     if (!is_store)
         off += 8;
     off = std::min(off, stackDepth);
@@ -186,8 +202,7 @@ DataModel::stackAddr(bool is_store)
 Addr
 DataModel::globalAddr()
 {
-    const std::uint64_t rank =
-        rng.nextParetoIndex(params.globalAlpha, globalWordCount);
+    const std::uint64_t rank = globalPareto.draw(rng);
     return layout::kGlobalBase + wordsToBytes(globalBaseOffset) +
            wordsToBytes(placeRank(rank, globalWordCount,
                                   globalHeadWords));
@@ -225,8 +240,7 @@ DataModel::arrayAddr()
 Addr
 DataModel::heapAddr()
 {
-    const std::uint64_t rank =
-        rng.nextParetoIndex(params.heapAlpha, heapLineCount);
+    const std::uint64_t rank = heapPareto.draw(rng);
     const std::uint64_t line =
         placeRank(rank, heapLineCount, heapHeadLines);
     const std::uint64_t word =
@@ -240,14 +254,24 @@ DataModel::draw(bool is_store)
 {
     Addr &last = is_store ? lastStoreAddr : lastLoadAddr;
     bool &have = is_store ? haveLastStore : haveLastLoad;
-    if (have && rng.nextBernoulli(params.sameLineBurstProb)) {
+    if (have && (rng.next64() >> 11) < sameLineThresh) {
         // Re-touch the previous same-kind line at a nearby word.
         const Addr line = last & ~Addr{15};
         return line + wordsToBytes(rng.nextBounded(4));
     }
-    const auto &cdf = is_store ? storeCdf : loadCdf;
+    // Integer-threshold form of rng.pickCumulative over the region
+    // CDF (one draw either way; identical region decisions).
+    const auto &cdf = is_store ? storeCdfThresh : loadCdfThresh;
+    const std::uint64_t u = rng.next64() >> 11;
+    unsigned region = 3;
+    for (unsigned i = 0; i < 4; ++i) {
+        if (u < cdf[i]) {
+            region = i;
+            break;
+        }
+    }
     Addr addr = 0;
-    switch (rng.pickCumulative(cdf)) {
+    switch (region) {
       case kStack:
         addr = stackAddr(is_store);
         break;
@@ -266,22 +290,10 @@ DataModel::draw(bool is_store)
     return addr;
 }
 
-Addr
-DataModel::nextLoad()
-{
-    return draw(false);
-}
-
-Addr
-DataModel::nextStore()
-{
-    return draw(true);
-}
-
 bool
 DataModel::nextStoreIsPartial()
 {
-    return rng.nextBernoulli(params.partialWordStoreFrac);
+    return (rng.next64() >> 11) < partialStoreThresh;
 }
 
 } // namespace gaas::synth

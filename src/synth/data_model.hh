@@ -34,10 +34,18 @@ class DataModel
     DataModel(const DataParams &params, std::uint64_t seed);
 
     /** @return the next load address. */
-    Addr nextLoad();
+    Addr
+    nextLoad()
+    {
+        return draw(false);
+    }
 
     /** @return the next store address. */
-    Addr nextStore();
+    Addr
+    nextStore()
+    {
+        return draw(true);
+    }
 
     /** @return true if the next store should be a partial-word
      *  write (consumes a PRNG draw; call once per store). */
@@ -79,6 +87,22 @@ class DataModel
 
     std::array<double, 4> loadCdf;
     std::array<double, 4> storeCdf;
+
+    // Draw-invariant sampler state hoisted out of the per-reference
+    // path (see ParetoSampler/GeometricSampler in util/random.hh).
+    ParetoSampler globalPareto;
+    ParetoSampler heapPareto;
+    GeometricSampler stackStoreOffset;
+    GeometricSampler stackLoadOffset;
+
+    // Exact integer-threshold forms of the per-draw double compares
+    // (see bernoulliThreshold): same decisions from the same draws.
+    std::uint64_t sameLineThresh = 0;
+    std::uint64_t partialStoreThresh = 0;
+    std::uint64_t stackCallThresh = 0;
+    std::uint64_t stackReturnThresh = 0;
+    std::array<std::uint64_t, 4> loadCdfThresh{};
+    std::array<std::uint64_t, 4> storeCdfThresh{};
 
     // Stack state: a random-walking frame pointer (word offset below
     // the stack top).

@@ -49,6 +49,15 @@ LimitSource::next(MemRef &ref)
     return true;
 }
 
+std::size_t
+LimitSource::nextBatch(MemRef *out, std::size_t n)
+{
+    const std::size_t take = std::min(n, limit - produced);
+    const std::size_t got = inner->nextBatch(out, take);
+    produced += got;
+    return got;
+}
+
 void
 LimitSource::reset()
 {
@@ -77,6 +86,24 @@ LoopSource::next(MemRef &ref)
     inner->reset();
     ++wrapCount;
     return inner->next(ref);
+}
+
+std::size_t
+LoopSource::nextBatch(MemRef *out, std::size_t n)
+{
+    std::size_t produced = 0;
+    while (produced < n) {
+        produced += inner->nextBatch(out + produced, n - produced);
+        if (produced == n)
+            break;
+        // Inner exhausted mid-batch: wrap, exactly as next() would.
+        inner->reset();
+        ++wrapCount;
+        if (inner->nextBatch(out + produced, 1) == 0)
+            break; // empty even after a reset: give up, as next()
+        ++produced;
+    }
+    return produced;
 }
 
 void
@@ -111,6 +138,19 @@ ConcatSource::next(MemRef &ref)
         ++current;
     }
     return false;
+}
+
+std::size_t
+ConcatSource::nextBatch(MemRef *out, std::size_t n)
+{
+    std::size_t produced = 0;
+    while (produced < n && current < parts.size()) {
+        produced +=
+            parts[current]->nextBatch(out + produced, n - produced);
+        if (produced < n)
+            ++current; // this part is exhausted
+    }
+    return produced;
 }
 
 void
@@ -157,11 +197,12 @@ MixSource::MixSource(std::unique_ptr<TraceSource> inner_)
         gaas_fatal("MixSource requires an inner source");
 }
 
-bool
-MixSource::next(MemRef &ref)
+namespace
 {
-    if (!inner->next(ref))
-        return false;
+
+void
+tallyRef(RefMix &counts, const MemRef &ref)
+{
     switch (ref.kind) {
       case RefKind::Inst:
         ++counts.instructions;
@@ -177,7 +218,26 @@ MixSource::next(MemRef &ref)
             ++counts.partialWordStores;
         break;
     }
+}
+
+} // namespace
+
+bool
+MixSource::next(MemRef &ref)
+{
+    if (!inner->next(ref))
+        return false;
+    tallyRef(counts, ref);
     return true;
+}
+
+std::size_t
+MixSource::nextBatch(MemRef *out, std::size_t n)
+{
+    const std::size_t got = inner->nextBatch(out, n);
+    for (std::size_t i = 0; i < got; ++i)
+        tallyRef(counts, out[i]);
+    return got;
 }
 
 void

@@ -22,6 +22,7 @@ class LimitSource : public TraceSource
     LimitSource(std::unique_ptr<TraceSource> inner, std::size_t limit);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *out, std::size_t n) override;
     void reset() override;
     std::string name() const override;
 
@@ -45,6 +46,7 @@ class LoopSource : public TraceSource
     explicit LoopSource(std::unique_ptr<TraceSource> inner);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *out, std::size_t n) override;
     void reset() override;
     std::string name() const override;
 
@@ -64,6 +66,7 @@ class ConcatSource : public TraceSource
         std::vector<std::unique_ptr<TraceSource>> parts);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *out, std::size_t n) override;
     void reset() override;
     std::string name() const override;
 
@@ -97,6 +100,7 @@ class MixSource : public TraceSource
     explicit MixSource(std::unique_ptr<TraceSource> inner);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *out, std::size_t n) override;
     void reset() override;
     std::string name() const override;
 

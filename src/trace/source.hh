@@ -11,6 +11,8 @@
 #ifndef GAAS_TRACE_SOURCE_HH
 #define GAAS_TRACE_SOURCE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,28 @@ class TraceSource
      * @retval false the trace is exhausted (ref is unchanged)
      */
     virtual bool next(MemRef &ref) = 0;
+
+    /**
+     * Produce up to @p n references into @p out.
+     *
+     * Exists so hot consumers (the Simulator's per-process refill
+     * buffer) pay one virtual call per batch instead of one per
+     * reference.  The records produced must be exactly the records n
+     * calls to next() would have produced; overriders (the synthetic
+     * generator, the compose adapters) only change the dispatch cost,
+     * never the stream.
+     *
+     * @return the number of records produced; less than @p n only
+     *         when the trace is exhausted
+     */
+    virtual std::size_t
+    nextBatch(MemRef *out, std::size_t n)
+    {
+        std::size_t produced = 0;
+        while (produced < n && next(out[produced]))
+            ++produced;
+        return produced;
+    }
 
     /** Restart the stream from its beginning (deterministically). */
     virtual void reset() = 0;
@@ -59,6 +83,16 @@ class VectorSource : public TraceSource
             return false;
         ref = records[pos++];
         return true;
+    }
+
+    std::size_t
+    nextBatch(MemRef *out, std::size_t n) override
+    {
+        const std::size_t take = std::min(n, records.size() - pos);
+        std::copy_n(records.begin() + static_cast<std::ptrdiff_t>(pos),
+                    take, out);
+        pos += take;
+        return take;
     }
 
     void reset() override { pos = 0; }

@@ -19,12 +19,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -35,22 +29,6 @@ Rng::Rng(std::uint64_t seed)
     // xoshiro must not be seeded with the all-zero state.
     if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0)
         state[0] = 1;
-}
-
-std::uint64_t
-Rng::next64()
-{
-    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
-    const std::uint64_t t = state[1] << 17;
-
-    state[2] ^= state[0];
-    state[3] ^= state[1];
-    state[1] ^= state[2];
-    state[0] ^= state[3];
-    state[2] ^= t;
-    state[3] = rotl(state[3], 45);
-
-    return result;
 }
 
 std::uint64_t
@@ -110,6 +88,25 @@ Rng::nextParetoIndex(double alpha, std::uint64_t bound)
     const double tail = std::pow(b, -alpha);
     double u = nextDouble();
     double x = std::pow(1.0 - u * (1.0 - tail), -1.0 / alpha);
+    auto idx = static_cast<std::uint64_t>(x) - 1;
+    if (idx >= bound)
+        idx = bound - 1;
+    return idx;
+}
+
+std::uint64_t
+ParetoSampler::draw(Rng &rng) const
+{
+    // Mirrors Rng::nextParetoIndex case for case; the cached tail
+    // and negInvAlpha replace the per-draw std::pow / division.
+    if (bound == 0)
+        gaas_panic("ParetoSampler::draw with bound 0");
+    if (bound == 1)
+        return 0;
+    if (alpha <= 0.0)
+        return rng.nextBounded(bound);
+    double u = rng.nextDouble();
+    double x = std::pow(1.0 - u * (1.0 - tail), negInvAlpha);
     auto idx = static_cast<std::uint64_t>(x) - 1;
     if (idx >= bound)
         idx = bound - 1;

@@ -34,7 +34,21 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
     /** @return the next raw 64-bit draw. */
-    std::uint64_t next64();
+    std::uint64_t
+    next64()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+
+        return result;
+    }
 
     /** @return a uniform draw in [0, bound); bound must be nonzero. */
     std::uint64_t nextBounded(std::uint64_t bound);
@@ -91,7 +105,113 @@ class Rng
     unsigned pickCumulative(std::span<const double> cumulative);
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<std::uint64_t, 4> state;
+};
+
+/**
+ * Integer threshold t such that, for k = next64() >> 11,
+ * (k < t) == (nextDouble() < p) for every possible draw.
+ *
+ * nextDouble() returns k * 2^-53 with k < 2^53, both exact, so
+ * u < p iff k < p * 2^53 (as reals).  p * 2^53 is an exact double
+ * (power-of-two scaling), and comparing the integer k against its
+ * ceiling is equivalent whether or not it is itself an integer.
+ * Lets a hot loop replace a bernoulli draw's int-to-double
+ * conversion and double compare with one integer compare while
+ * consuming identical PRNG state.
+ */
+inline std::uint64_t
+bernoulliThreshold(double p)
+{
+    if (p <= 0.0)
+        return 0;
+    const double scaled = p * 0x1.0p53;
+    if (scaled >= 0x1.0p53)
+        return 1ull << 53; // always true: every k is below 2^53
+    return static_cast<std::uint64_t>(std::ceil(scaled));
+}
+
+/**
+ * Precomputed bounded-Pareto sampler over [0, bound).
+ *
+ * Rng::nextParetoIndex recomputes the bound^-alpha tail term (a
+ * std::pow) and the -1/alpha exponent on every draw even though both
+ * depend only on the distribution, not the draw.  The synthetic data
+ * model draws from a handful of fixed (alpha, bound) pairs millions
+ * of times per simulation, so hoisting them is one of the largest
+ * single wins in the trace-generation hot path.  draw() is
+ * bit-identical to nextParetoIndex(alpha, bound) for the same Rng
+ * state: the cached terms are computed by the same expressions.
+ */
+class ParetoSampler
+{
+  public:
+    ParetoSampler() = default;
+
+    ParetoSampler(double alpha_, std::uint64_t bound_)
+        : alpha(alpha_), bound(bound_)
+    {
+        if (alpha > 0.0 && bound > 1) {
+            tail = std::pow(static_cast<double>(bound), -alpha);
+            negInvAlpha = -1.0 / alpha;
+        }
+    }
+
+    /** One draw; consumes exactly the PRNG state
+     *  nextParetoIndex(alpha, bound) would. */
+    std::uint64_t draw(Rng &rng) const;
+
+  private:
+    double alpha = 0.0;
+    std::uint64_t bound = 0;
+    double tail = 0.0;
+    double negInvAlpha = 0.0;
+};
+
+/**
+ * Precomputed geometric sampler with a fixed mean (support {1, 2,
+ * ...}).  Caches the log1p(-1/mean) denominator that
+ * Rng::nextGeometric recomputes per draw; draw() is bit-identical to
+ * nextGeometric(mean) for the same Rng state.
+ */
+class GeometricSampler
+{
+  public:
+    GeometricSampler() = default;
+
+    explicit GeometricSampler(double mean_) : mean(mean_)
+    {
+        if (mean > 1.0)
+            denom = std::log1p(-(1.0 / mean));
+    }
+
+    /** One draw; consumes exactly the PRNG state
+     *  nextGeometric(mean) would. */
+    std::uint64_t
+    draw(Rng &rng) const
+    {
+        if (mean <= 1.0)
+            return 1;
+        double u = rng.nextDouble();
+        if (u >= 1.0)
+            u = 0x1.fffffffffffffp-1;
+        double k = std::floor(std::log1p(-u) / denom) + 1.0;
+        if (k < 1.0)
+            k = 1.0;
+        if (k > 1e12)
+            k = 1e12;
+        return static_cast<std::uint64_t>(k);
+    }
+
+  private:
+    double mean = 0.0;
+    double denom = -1.0;
 };
 
 /**

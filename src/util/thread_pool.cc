@@ -1,0 +1,47 @@
+#include "thread_pool.hh"
+
+namespace gaas
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    available.notify_all();
+    for (auto &thread : threads)
+        thread.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            available.wait(lock,
+                           [this] { return stopping || !tasks.empty(); });
+            if (tasks.empty())
+                return; // stopping, queue drained
+            task = std::move(tasks.front());
+            tasks.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace gaas

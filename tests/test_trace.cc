@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 
 #include "trace/compose.hh"
@@ -126,8 +128,14 @@ class TraceFileTest : public ::testing::Test
     void
     SetUp() override
     {
+        // Unique per test case AND per process: ctest -j runs each
+        // case as its own concurrent process, so a shared fixed name
+        // races (one case's writer truncates another's reader).
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
         path = (std::filesystem::temp_directory_path() /
-                "gaas_trace_test.gtrc")
+                ("gaas_trace_test_" + std::string(info->name()) +
+                 "_" + std::to_string(::getpid()) + ".gtrc"))
                    .string();
     }
 
