@@ -1,7 +1,6 @@
 #include "bench_common.hh"
 
 #include <cstdlib>
-#include <filesystem>
 #include <iomanip>
 #include <iostream>
 
@@ -119,14 +118,15 @@ void
 emit(const stats::Table &table, const std::string &name)
 {
     table.print(std::cout);
-    const std::string dir = csvDir();
-    std::error_code ec;
-    std::filesystem::create_directories(dir, ec);
-    if (ec)
-        warn("could not create CSV dir ", dir, ": ", ec.message());
-    const std::string path = dir + "/" + name + ".csv";
+    // writeCsv creates the parent directory itself; a failed write
+    // must be loud on stdout (not just a suppressible warn) -- the
+    // CSVs are the figures' product, and a silently missing one
+    // reads as "nothing changed" to any diff-based consumer.
+    const std::string path = csvDir() + "/" + name + ".csv";
     if (table.writeCsv(path))
         std::cout << "[csv: " << path << "]\n";
+    else
+        std::cout << "[csv FAILED: " << path << "]\n";
     std::cout << '\n';
 }
 

@@ -1,9 +1,12 @@
 #include "config_io.hh"
 
+#include <algorithm>
+#include <array>
 #include <fstream>
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "util/logging.hh"
 
@@ -29,9 +32,18 @@ policyKey(WritePolicy p)
     return "?";
 }
 
-WritePolicy
-parsePolicy(const std::string &v)
+/** One `key = value` line, collected before any state is touched. */
+struct Entry
 {
+    std::string key;
+    std::string value;
+    unsigned lineno = 0;
+};
+
+WritePolicy
+parsePolicy(const Entry &e)
+{
+    const std::string &v = e.value;
     if (v == "writeback")
         return WritePolicy::WriteBack;
     if (v == "invalidate")
@@ -40,7 +52,8 @@ parsePolicy(const std::string &v)
         return WritePolicy::WriteOnly;
     if (v == "subblock")
         return WritePolicy::SubblockPlacement;
-    gaas_fatal("unknown write policy '", v, "'");
+    gaas_fatal("config line ", e.lineno, ": unknown write policy '",
+               v, "'");
 }
 
 const char *
@@ -58,15 +71,17 @@ orgKey(L2Org org)
 }
 
 L2Org
-parseOrg(const std::string &v)
+parseOrg(const Entry &e)
 {
+    const std::string &v = e.value;
     if (v == "unified")
         return L2Org::Unified;
     if (v == "logical")
         return L2Org::LogicalSplit;
     if (v == "physical")
         return L2Org::PhysicalSplit;
-    gaas_fatal("unknown L2 organisation '", v, "'");
+    gaas_fatal("config line ", e.lineno,
+               ": unknown L2 organisation '", v, "'");
 }
 
 const char *
@@ -84,40 +99,53 @@ bypassKey(LoadBypass b)
 }
 
 LoadBypass
-parseBypass(const std::string &v)
+parseBypass(const Entry &e)
 {
+    const std::string &v = e.value;
     if (v == "none")
         return LoadBypass::None;
     if (v == "associative")
         return LoadBypass::Associative;
     if (v == "dirtybit")
         return LoadBypass::DirtyBit;
-    gaas_fatal("unknown load-bypass scheme '", v, "'");
+    gaas_fatal("config line ", e.lineno,
+               ": unknown load-bypass scheme '", v, "'");
 }
 
 std::uint64_t
-parseU64(const std::string &key, const std::string &v)
+parseU64(const Entry &e)
 {
     std::size_t used = 0;
     std::uint64_t out = 0;
     try {
-        out = std::stoull(v, &used, 0);
+        out = std::stoull(e.value, &used, 0);
     } catch (const std::exception &) {
         used = 0;
     }
-    if (used != v.size())
-        gaas_fatal("bad numeric value for ", key, ": '", v, "'");
+    if (used != e.value.size()) {
+        gaas_fatal("config line ", e.lineno,
+                   ": bad numeric value for ", e.key, ": '", e.value,
+                   "'");
+    }
     return out;
 }
 
-bool
-parseBool(const std::string &key, const std::string &v)
+unsigned
+parseU32(const Entry &e)
 {
+    return static_cast<unsigned>(parseU64(e));
+}
+
+bool
+parseBool(const Entry &e)
+{
+    const std::string &v = e.value;
     if (v == "true" || v == "1" || v == "yes")
         return true;
     if (v == "false" || v == "0" || v == "no")
         return false;
-    gaas_fatal("bad boolean value for ", key, ": '", v, "'");
+    gaas_fatal("config line ", e.lineno,
+               ": bad boolean value for ", e.key, ": '", v, "'");
 }
 
 std::string
@@ -128,6 +156,176 @@ trim(const std::string &s)
         return "";
     const auto last = s.find_last_not_of(" \t\r");
     return s.substr(first, last - first + 1);
+}
+
+/**
+ * The config schema: every legal key, in canonical apply order (the
+ * same order saveConfig writes).
+ *
+ * loadConfig applies collected entries in THIS order, never in file
+ * order, so a parse result is a pure function of the key/value set.
+ * The one ordering subtlety the schema encodes: `write_policy` ranks
+ * before `wb.depth` / `wb.entry_words`, so the policy's write-buffer
+ * defaults (applyPolicyDefaults) always land first and an explicit
+ * wb.* line always wins, wherever it appears in the file.
+ */
+struct SchemaKey
+{
+    const char *key;
+    void (*apply)(SystemConfig &, const Entry &);
+};
+
+constexpr SchemaKey kSchema[] = {
+    {"name",
+     [](SystemConfig &c, const Entry &e) { c.name = e.value; }},
+    {"l1i.size_words",
+     [](SystemConfig &c, const Entry &e) {
+         c.l1i.sizeWords = parseU64(e);
+     }},
+    {"l1i.assoc",
+     [](SystemConfig &c, const Entry &e) {
+         c.l1i.assoc = parseU32(e);
+     }},
+    {"l1i.line_words",
+     [](SystemConfig &c, const Entry &e) {
+         c.l1i.lineWords = c.l1i.fetchWords = parseU32(e);
+     }},
+    {"l1d.size_words",
+     [](SystemConfig &c, const Entry &e) {
+         c.l1d.sizeWords = parseU64(e);
+     }},
+    {"l1d.assoc",
+     [](SystemConfig &c, const Entry &e) {
+         c.l1d.assoc = parseU32(e);
+     }},
+    {"l1d.line_words",
+     [](SystemConfig &c, const Entry &e) {
+         c.l1d.lineWords = c.l1d.fetchWords = parseU32(e);
+     }},
+    {"write_policy",
+     [](SystemConfig &c, const Entry &e) {
+         c.writePolicy = parsePolicy(e);
+         c.applyPolicyDefaults();
+     }},
+    {"l2.org",
+     [](SystemConfig &c, const Entry &e) {
+         c.l2Org = parseOrg(e);
+     }},
+    {"l2.size_words",
+     [](SystemConfig &c, const Entry &e) {
+         c.l2.cache.sizeWords = parseU64(e);
+     }},
+    {"l2.assoc",
+     [](SystemConfig &c, const Entry &e) {
+         c.l2.cache.assoc = parseU32(e);
+     }},
+    {"l2.line_words",
+     [](SystemConfig &c, const Entry &e) {
+         c.l2.cache.lineWords = c.l2.cache.fetchWords = parseU32(e);
+     }},
+    {"l2.access_time",
+     [](SystemConfig &c, const Entry &e) {
+         c.l2.accessTime = parseU64(e);
+     }},
+    {"l2i.size_words",
+     [](SystemConfig &c, const Entry &e) {
+         c.l2i.cache.sizeWords = parseU64(e);
+     }},
+    {"l2i.assoc",
+     [](SystemConfig &c, const Entry &e) {
+         c.l2i.cache.assoc = parseU32(e);
+     }},
+    {"l2i.line_words",
+     [](SystemConfig &c, const Entry &e) {
+         c.l2i.cache.lineWords = c.l2i.cache.fetchWords =
+             parseU32(e);
+     }},
+    {"l2i.access_time",
+     [](SystemConfig &c, const Entry &e) {
+         c.l2i.accessTime = parseU64(e);
+     }},
+    {"l2d.size_words",
+     [](SystemConfig &c, const Entry &e) {
+         c.l2d.cache.sizeWords = parseU64(e);
+     }},
+    {"l2d.assoc",
+     [](SystemConfig &c, const Entry &e) {
+         c.l2d.cache.assoc = parseU32(e);
+     }},
+    {"l2d.line_words",
+     [](SystemConfig &c, const Entry &e) {
+         c.l2d.cache.lineWords = c.l2d.cache.fetchWords =
+             parseU32(e);
+     }},
+    {"l2d.access_time",
+     [](SystemConfig &c, const Entry &e) {
+         c.l2d.accessTime = parseU64(e);
+     }},
+    {"transfer_words_per_cycle",
+     [](SystemConfig &c, const Entry &e) {
+         c.transferWordsPerCycle = parseU32(e);
+     }},
+    {"wb.depth",
+     [](SystemConfig &c, const Entry &e) {
+         c.wbDepth = parseU32(e);
+     }},
+    {"wb.entry_words",
+     [](SystemConfig &c, const Entry &e) {
+         c.wbEntryWords = parseU32(e);
+     }},
+    {"wb.stream_overlap",
+     [](SystemConfig &c, const Entry &e) {
+         c.wbStreamOverlap = parseU64(e);
+     }},
+    {"concurrent_i_refill",
+     [](SystemConfig &c, const Entry &e) {
+         c.concurrentIRefill = parseBool(e);
+     }},
+    {"load_bypass",
+     [](SystemConfig &c, const Entry &e) {
+         c.loadBypass = parseBypass(e);
+     }},
+    {"l2_dirty_buffer",
+     [](SystemConfig &c, const Entry &e) {
+         c.l2DirtyBuffer = parseBool(e);
+     }},
+    {"memory.clean_miss",
+     [](SystemConfig &c, const Entry &e) {
+         c.memory.cleanMissPenalty = parseU64(e);
+     }},
+    {"memory.dirty_miss",
+     [](SystemConfig &c, const Entry &e) {
+         c.memory.dirtyMissPenalty = parseU64(e);
+     }},
+    {"mmu.tlb_miss_penalty",
+     [](SystemConfig &c, const Entry &e) {
+         c.mmu.tlbMissPenalty = parseU64(e);
+     }},
+    {"mmu.page_colors",
+     [](SystemConfig &c, const Entry &e) {
+         c.mmu.pageTable.colors = parseU32(e);
+     }},
+    {"mmu.page_coloring",
+     [](SystemConfig &c, const Entry &e) {
+         c.mmu.pageTable.coloring = parseBool(e);
+     }},
+    {"time_slice_cycles",
+     [](SystemConfig &c, const Entry &e) {
+         c.timeSliceCycles = parseU64(e);
+     }},
+};
+
+constexpr std::size_t kSchemaSize = std::size(kSchema);
+
+/** @return the schema rank of @p key, or kSchemaSize if unknown. */
+std::size_t
+schemaRank(const std::string &key)
+{
+    for (std::size_t i = 0; i < kSchemaSize; ++i) {
+        if (key == kSchema[i].key)
+            return i;
+    }
+    return kSchemaSize;
 }
 
 } // namespace
@@ -192,8 +390,11 @@ saveConfigFile(const SystemConfig &cfg, const std::string &path)
 SystemConfig
 loadConfig(std::istream &is)
 {
-    SystemConfig cfg = baseline();
-    cfg.name = "loaded";
+    // Phase 1: collect every key/value pair without touching any
+    // config state.  Unknown keys, malformed lines, and duplicate
+    // keys are fatal here, with the offending line number.
+    std::vector<Entry> entries;
+    std::map<std::string, unsigned> firstSeen;
 
     std::string line;
     unsigned lineno = 0;
@@ -207,82 +408,35 @@ loadConfig(std::istream &is)
             gaas_fatal("config line ", lineno,
                        ": expected 'key = value', got '", text, "'");
         }
-        const std::string key = trim(text.substr(0, eq));
-        const std::string value = trim(text.substr(eq + 1));
-
-        auto setCache = [&](cache::CacheConfig &c,
-                            const std::string &field) {
-            if (field == "size_words") {
-                c.sizeWords = parseU64(key, value);
-            } else if (field == "assoc") {
-                c.assoc =
-                    static_cast<unsigned>(parseU64(key, value));
-            } else if (field == "line_words") {
-                c.lineWords = c.fetchWords =
-                    static_cast<unsigned>(parseU64(key, value));
-            } else {
-                gaas_fatal("config line ", lineno, ": unknown key '",
-                           key, "'");
-            }
-        };
-
-        if (key == "name") {
-            cfg.name = value;
-        } else if (key.rfind("l1i.", 0) == 0) {
-            setCache(cfg.l1i, key.substr(4));
-        } else if (key.rfind("l1d.", 0) == 0) {
-            setCache(cfg.l1d, key.substr(4));
-        } else if (key == "write_policy") {
-            cfg.writePolicy = parsePolicy(value);
-            cfg.applyPolicyDefaults();
-        } else if (key == "l2.org") {
-            cfg.l2Org = parseOrg(value);
-        } else if (key == "l2.access_time") {
-            cfg.l2.accessTime = parseU64(key, value);
-        } else if (key.rfind("l2.", 0) == 0) {
-            setCache(cfg.l2.cache, key.substr(3));
-        } else if (key == "l2i.access_time") {
-            cfg.l2i.accessTime = parseU64(key, value);
-        } else if (key.rfind("l2i.", 0) == 0) {
-            setCache(cfg.l2i.cache, key.substr(4));
-        } else if (key == "l2d.access_time") {
-            cfg.l2d.accessTime = parseU64(key, value);
-        } else if (key.rfind("l2d.", 0) == 0) {
-            setCache(cfg.l2d.cache, key.substr(4));
-        } else if (key == "transfer_words_per_cycle") {
-            cfg.transferWordsPerCycle =
-                static_cast<unsigned>(parseU64(key, value));
-        } else if (key == "wb.depth") {
-            cfg.wbDepth = static_cast<unsigned>(parseU64(key, value));
-        } else if (key == "wb.entry_words") {
-            cfg.wbEntryWords =
-                static_cast<unsigned>(parseU64(key, value));
-        } else if (key == "wb.stream_overlap") {
-            cfg.wbStreamOverlap = parseU64(key, value);
-        } else if (key == "concurrent_i_refill") {
-            cfg.concurrentIRefill = parseBool(key, value);
-        } else if (key == "load_bypass") {
-            cfg.loadBypass = parseBypass(value);
-        } else if (key == "l2_dirty_buffer") {
-            cfg.l2DirtyBuffer = parseBool(key, value);
-        } else if (key == "memory.clean_miss") {
-            cfg.memory.cleanMissPenalty = parseU64(key, value);
-        } else if (key == "memory.dirty_miss") {
-            cfg.memory.dirtyMissPenalty = parseU64(key, value);
-        } else if (key == "mmu.tlb_miss_penalty") {
-            cfg.mmu.tlbMissPenalty = parseU64(key, value);
-        } else if (key == "mmu.page_colors") {
-            cfg.mmu.pageTable.colors =
-                static_cast<unsigned>(parseU64(key, value));
-        } else if (key == "mmu.page_coloring") {
-            cfg.mmu.pageTable.coloring = parseBool(key, value);
-        } else if (key == "time_slice_cycles") {
-            cfg.timeSliceCycles = parseU64(key, value);
-        } else {
+        Entry e{trim(text.substr(0, eq)), trim(text.substr(eq + 1)),
+                lineno};
+        if (schemaRank(e.key) == kSchemaSize) {
             gaas_fatal("config line ", lineno, ": unknown key '",
-                       key, "'");
+                       e.key, "'");
         }
+        const auto [it, inserted] = firstSeen.emplace(e.key, lineno);
+        if (!inserted) {
+            gaas_fatal("config line ", lineno, ": duplicate key '",
+                       e.key, "' (first set on line ", it->second,
+                       ")");
+        }
+        entries.push_back(std::move(e));
     }
+
+    // Phase 2: apply in schema order, never in file order -- each
+    // key appears at most once, so the result is a pure function of
+    // the key/value set.  In particular write_policy (whose
+    // applyPolicyDefaults resets the write-buffer shape) always
+    // applies before any explicit wb.* override.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return schemaRank(a.key) < schemaRank(b.key);
+              });
+
+    SystemConfig cfg = baseline();
+    cfg.name = "loaded";
+    for (const auto &e : entries)
+        kSchema[schemaRank(e.key)].apply(cfg, e);
 
     cfg.validate();
     return cfg;

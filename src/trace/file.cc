@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "util/file_io.hh"
 #include "util/logging.hh"
 
 namespace gaas::trace
@@ -144,10 +145,11 @@ TraceFileWriter::close()
     if (!file)
         return;
     flushBuffer();
-    // Patch the record count into the header.
+    // Patch the record count into the header (64-bit seek: the
+    // write position can be anywhere past 2 GiB by now).
     unsigned char countBytes[8];
     putU64(countBytes, count);
-    bool ok = std::fseek(file, 8, SEEK_SET) == 0 &&
+    bool ok = util::seekTo(file, 8) &&
               std::fwrite(countBytes, 1, 8, file) == 8;
     ok = std::fclose(file) == 0 && ok;
     file = nullptr;
@@ -163,6 +165,7 @@ TraceFileReader::TraceFileReader(const std::string &path_)
         gaas_fatal("cannot open trace file: ", path);
     buffer.resize(kBufferRecords * kTraceRecordBytes);
     readHeader();
+    validateSize();
 }
 
 TraceFileReader::~TraceFileReader()
@@ -179,12 +182,46 @@ TraceFileReader::readHeader()
         gaas_fatal("trace file too short: ", path);
     if (getU32(header) != kTraceMagic)
         gaas_fatal("bad magic in trace file: ", path);
-    const std::uint32_t version = getU32(header + 4);
-    if (version != kTraceVersion) {
+    version = getU32(header + 4);
+    if (version < kTraceMinVersion || version > kTraceVersion) {
         gaas_fatal("unsupported trace version ", version, " in ",
-                   path);
+                   path, " (this build reads versions ",
+                   kTraceMinVersion, "..", kTraceVersion, ")");
     }
     total = getU64(header + 8);
+}
+
+void
+TraceFileReader::validateSize()
+{
+    // Catch truncation and trailing garbage here, at open, instead
+    // of letting a long simulation die mid-run (or silently ignore
+    // bytes past the promised record count).  Both the v1 and v2
+    // writers emit exactly header + count * record bytes, so any
+    // mismatch is corruption whatever the version says.
+    const std::int64_t actual = util::fileSizeBytes(file);
+    if (actual < 0)
+        gaas_fatal("cannot determine size of trace file: ", path);
+    const std::uint64_t expected =
+        kHeaderBytes + total * kTraceRecordBytes;
+    const auto bytes = static_cast<std::uint64_t>(actual);
+    if (bytes < expected) {
+        const std::uint64_t body = bytes - kHeaderBytes;
+        gaas_fatal("trace file truncated: ", path, " header promises ",
+                   total, " records (", expected, " bytes) but the "
+                   "file is ", bytes, " bytes -- it ends ",
+                   expected - bytes, " bytes short, inside record ",
+                   body / kTraceRecordBytes, " at byte offset ",
+                   bytes);
+    }
+    if (bytes > expected) {
+        gaas_fatal("trace file has trailing garbage: ", path,
+                   " header promises ", total, " records (", expected,
+                   " bytes) but the file is ", bytes, " bytes -- ",
+                   bytes - expected,
+                   " unexpected bytes start at byte offset ",
+                   expected);
+    }
 }
 
 bool
@@ -215,10 +252,8 @@ TraceFileReader::next(MemRef &ref)
 void
 TraceFileReader::reset()
 {
-    if (std::fseek(file, static_cast<long>(kHeaderBytes), SEEK_SET) !=
-        0) {
+    if (!util::seekTo(file, kHeaderBytes))
         gaas_fatal("cannot rewind trace file: ", path);
-    }
     bufPos = bufLen = 0;
     consumed = 0;
 }

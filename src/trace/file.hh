@@ -8,8 +8,14 @@
  *   records: addr u64, meta u8
  *     meta bits [1:0] = RefKind, bit 2 = syscall, bit 3 = partialWord
  *
- * The record count in the header is written on close; a reader treats
- * a mismatch as file corruption.
+ * The record count in the header is written on close.  Version 2
+ * (current) has the same layout as version 1 but guarantees the file
+ * holds exactly `header + count * record` bytes; the reader enforces
+ * that at open time for both versions (the v1 writer also wrote
+ * exact sizes, so any mismatch is truncation or trailing garbage)
+ * and reports the discrepancy byte-accurately.  All file positioning
+ * is 64-bit (util/file_io.hh), so traces past 2 GiB work on LP32 and
+ * Windows hosts.
  */
 
 #ifndef GAAS_TRACE_FILE_HH
@@ -28,8 +34,11 @@ namespace gaas::trace
 /** Magic bytes at the start of every trace file. */
 inline constexpr std::uint32_t kTraceMagic = 0x43525447; // "GTRC"
 
-/** Current trace file format version. */
-inline constexpr std::uint32_t kTraceVersion = 1;
+/** Current trace file format version (written by TraceFileWriter). */
+inline constexpr std::uint32_t kTraceVersion = 2;
+
+/** Oldest version TraceFileReader still accepts. */
+inline constexpr std::uint32_t kTraceMinVersion = 1;
 
 /** Bytes per on-disk record (u64 addr + u8 meta). */
 inline constexpr std::size_t kTraceRecordBytes = 9;
@@ -85,8 +94,12 @@ class TraceFileReader : public TraceSource
     /** Total records the header promises. */
     std::uint64_t recordCount() const { return total; }
 
+    /** Format version of the file being read (1 or 2). */
+    std::uint32_t formatVersion() const { return version; }
+
   private:
     void readHeader();
+    void validateSize();
     bool fillBuffer();
 
     std::string path;
@@ -96,6 +109,7 @@ class TraceFileReader : public TraceSource
     std::size_t bufLen = 0;
     std::uint64_t total = 0;
     std::uint64_t consumed = 0;
+    std::uint32_t version = kTraceVersion;
 };
 
 } // namespace gaas::trace

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Portable 64-bit file positioning over std::FILE.
+ *
+ * std::fseek/std::ftell take a `long` offset, which is 32 bits on
+ * LP32 targets and on Windows (LLP64), so any stdio seek breaks past
+ * 2 GiB there -- exactly the regime long trace files live in.  These
+ * wrappers route to fseeko/ftello (POSIX, with 64-bit off_t) or
+ * _fseeki64/_ftelli64 (Windows) so callers never touch `long`.
+ */
+
+#ifndef GAAS_UTIL_FILE_IO_HH
+#define GAAS_UTIL_FILE_IO_HH
+
+#include <cstdint>
+#include <cstdio>
+
+namespace gaas::util
+{
+
+/** Seek to absolute byte @p offset; @return true on success. */
+bool seekTo(std::FILE *file, std::uint64_t offset);
+
+/** @return current byte position, or -1 on error. */
+std::int64_t tellPos(std::FILE *file);
+
+/**
+ * @return total file size in bytes (by seeking to the end), or -1 on
+ * error.  The current position is restored before returning.
+ */
+std::int64_t fileSizeBytes(std::FILE *file);
+
+} // namespace gaas::util
+
+#endif // GAAS_UTIL_FILE_IO_HH

@@ -5,11 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/config.hh"
 #include "core/config_io.hh"
+#include "core/simulator.hh"
 #include "util/logging.hh"
 
 namespace gaas::core
@@ -56,14 +60,147 @@ roundTrip(const SystemConfig &cfg)
     return loadConfig(is);
 }
 
+/** The preset ladder every property test walks. */
+std::vector<SystemConfig>
+presetLadder()
+{
+    return {baseline(),       afterWritePolicy(),
+            afterSplitL2(),   afterFetchSize(),
+            afterConcurrentIRefill(), afterLoadBypass(),
+            optimized(),      splitL2Exchanged()};
+}
+
 TEST(ConfigIo, RoundTripsEveryPreset)
 {
-    for (const auto &cfg :
-         {baseline(), afterWritePolicy(), afterSplitL2(),
-          afterFetchSize(), afterConcurrentIRefill(),
-          afterLoadBypass(), optimized(), splitL2Exchanged()}) {
+    for (const auto &cfg : presetLadder()) {
         SCOPED_TRACE(cfg.name);
         expectEqualConfigs(roundTrip(cfg), cfg);
+    }
+}
+
+TEST(ConfigIo, WbOverridesSurviveAnyKeyOrder)
+{
+    // Regression: the old one-pass parser ran applyPolicyDefaults()
+    // the moment it saw write_policy, silently clobbering any
+    // wb.depth / wb.entry_words line that appeared EARLIER in the
+    // file.  Both orders must now produce the same config, with the
+    // explicit override winning.
+    std::istringstream before(
+        "wb.depth = 16\n"
+        "wb.entry_words = 2\n"
+        "write_policy = writeonly\n");
+    std::istringstream after(
+        "write_policy = writeonly\n"
+        "wb.depth = 16\n"
+        "wb.entry_words = 2\n");
+    const auto a = loadConfig(before);
+    const auto b = loadConfig(after);
+    EXPECT_EQ(a.wbDepth, 16u);
+    EXPECT_EQ(a.wbEntryWords, 2u);
+    EXPECT_EQ(a.writePolicy, WritePolicy::WriteOnly);
+    expectEqualConfigs(a, b);
+}
+
+TEST(ConfigIo, LineOrderNeverMatters)
+{
+    // Strongest form of order independence: feeding every preset's
+    // save output to the parser in REVERSED line order yields the
+    // identical configuration.
+    for (const auto &cfg : presetLadder()) {
+        SCOPED_TRACE(cfg.name);
+        std::ostringstream os;
+        saveConfig(cfg, os);
+        std::vector<std::string> lines;
+        std::istringstream split(os.str());
+        for (std::string line; std::getline(split, line);)
+            lines.push_back(line);
+        std::reverse(lines.begin(), lines.end());
+        std::string reversed;
+        for (const auto &line : lines)
+            reversed += line + '\n';
+        std::istringstream is(reversed);
+        expectEqualConfigs(loadConfig(is), cfg);
+    }
+}
+
+TEST(ConfigIo, DuplicateKeyIsFatal)
+{
+    std::istringstream is("wb.depth = 4\nwb.depth = 8\n");
+    EXPECT_THROW(loadConfig(is), FatalError);
+    // The error names both the duplicate and the original line.
+    std::istringstream again("wb.depth = 4\nwb.depth = 8\n");
+    try {
+        loadConfig(again);
+        FAIL() << "duplicate key must be fatal";
+    } catch (const FatalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("duplicate key"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    }
+}
+
+TEST(ConfigIo, ValueErrorsCarryLineNumbers)
+{
+    std::istringstream is(
+        "# comment\n"
+        "l2.access_time = 8\n"
+        "wb.depth = many\n");
+    try {
+        loadConfig(is);
+        FAIL() << "bad value must be fatal";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("line 3"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(ConfigIo, SaveLoadSaveIsIdentity)
+{
+    // save -> load -> save must reproduce the text byte-for-byte:
+    // the parser reads everything the writer emits and invents
+    // nothing (the golden harness leans on this fixed point).
+    for (const auto &cfg : presetLadder()) {
+        SCOPED_TRACE(cfg.name);
+        std::ostringstream first;
+        saveConfig(cfg, first);
+        std::istringstream is(first.str());
+        const auto reloaded = loadConfig(is);
+        std::ostringstream second;
+        saveConfig(reloaded, second);
+        EXPECT_EQ(first.str(), second.str());
+    }
+}
+
+TEST(ConfigIo, ReloadedConfigSimulatesIdentically)
+{
+    // A reloaded config is the same design point, not merely a
+    // field-equal struct: a short pinned-seed run produces the
+    // identical SimResult (everything but wall-clock hostSeconds).
+    for (const auto &cfg : presetLadder()) {
+        SCOPED_TRACE(cfg.name);
+        const auto reloaded = roundTrip(cfg);
+        const auto a = runStandard(cfg, 20'000, 2, 5'000);
+        const auto b = runStandard(reloaded, 20'000, 2, 5'000);
+        EXPECT_EQ(a.configName, b.configName);
+        EXPECT_EQ(a.instructions, b.instructions);
+        EXPECT_EQ(a.cycles, b.cycles);
+        EXPECT_EQ(a.cpuStallCycles, b.cpuStallCycles);
+        EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+        EXPECT_EQ(a.syscallSwitches, b.syscallSwitches);
+        EXPECT_EQ(a.comp.total(), b.comp.total());
+        EXPECT_EQ(a.sys.ifetches, b.sys.ifetches);
+        EXPECT_EQ(a.sys.l1iMisses, b.sys.l1iMisses);
+        EXPECT_EQ(a.sys.loads, b.sys.loads);
+        EXPECT_EQ(a.sys.l1dReadMisses, b.sys.l1dReadMisses);
+        EXPECT_EQ(a.sys.stores, b.sys.stores);
+        EXPECT_EQ(a.sys.l1dWriteMisses, b.sys.l1dWriteMisses);
+        EXPECT_EQ(a.sys.l2iMisses, b.sys.l2iMisses);
+        EXPECT_EQ(a.sys.l2dMisses, b.sys.l2dMisses);
+        EXPECT_EQ(a.sys.wb.pushes, b.sys.wb.pushes);
+        EXPECT_EQ(a.sys.memory.reads, b.sys.memory.reads);
     }
 }
 

@@ -8,7 +8,9 @@
 
 #include <unistd.h>
 
+#include <cstdio>
 #include <filesystem>
+#include <string>
 
 #include "trace/compose.hh"
 #include "trace/file.hh"
@@ -206,6 +208,140 @@ TEST_F(TraceFileTest, BadMagicIsFatal)
         ASSERT_NE(f, nullptr);
         const char junk[32] = "not a trace file at all";
         std::fwrite(junk, 1, sizeof(junk), f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(TraceFileReader reader(path), FatalError);
+}
+
+TEST_F(TraceFileTest, WriterEmitsCurrentVersion)
+{
+    {
+        TraceFileWriter writer(path);
+        for (const auto &ref : sampleTrace())
+            writer.write(ref);
+    }
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.formatVersion(), kTraceVersion);
+}
+
+TEST_F(TraceFileTest, V1FilesRemainReadable)
+{
+    {
+        TraceFileWriter writer(path);
+        for (const auto &ref : sampleTrace())
+            writer.write(ref);
+    }
+    // Rewrite the header's version field to 1; the payload layout is
+    // identical, so a v1 file is this file with an older stamp.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        const unsigned char v1[4] = {1, 0, 0, 0};
+        ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0);
+        ASSERT_EQ(std::fwrite(v1, 1, 4, f), 4u);
+        std::fclose(f);
+    }
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.formatVersion(), 1u);
+    EXPECT_EQ(collect(reader, 100), sampleTrace());
+}
+
+TEST_F(TraceFileTest, FutureVersionIsFatal)
+{
+    {
+        TraceFileWriter writer(path);
+        writer.write(instRef(0x400000));
+    }
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        const unsigned char v9[4] = {9, 0, 0, 0};
+        ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0);
+        ASSERT_EQ(std::fwrite(v9, 1, 4, f), 4u);
+        std::fclose(f);
+    }
+    EXPECT_THROW(TraceFileReader reader(path), FatalError);
+}
+
+TEST_F(TraceFileTest, TruncationIsFatalAtOpen)
+{
+    {
+        TraceFileWriter writer(path);
+        for (const auto &ref : sampleTrace())
+            writer.write(ref);
+    }
+    const auto full = std::filesystem::file_size(path);
+    // Cut mid-record (drop 4 bytes) and at a record boundary (drop
+    // exactly two records): both must be rejected when the file is
+    // opened, not records later mid-simulation.
+    for (const std::uintmax_t cut :
+         {full - 4, full - 2 * kTraceRecordBytes}) {
+        std::filesystem::resize_file(path, cut);
+        try {
+            TraceFileReader reader(path);
+            FAIL() << "truncated file (size " << cut
+                   << ") must fail at open";
+        } catch (const FatalError &err) {
+            const std::string what = err.what();
+            EXPECT_NE(what.find("truncated"), std::string::npos)
+                << what;
+            // Byte-accurate: the message carries the actual size.
+            EXPECT_NE(what.find(std::to_string(cut)),
+                      std::string::npos)
+                << what;
+        }
+    }
+}
+
+TEST_F(TraceFileTest, TrailingGarbageIsFatalAtOpen)
+{
+    {
+        TraceFileWriter writer(path);
+        for (const auto &ref : sampleTrace())
+            writer.write(ref);
+    }
+    const auto full = std::filesystem::file_size(path);
+    {
+        std::FILE *f = std::fopen(path.c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        const char junk[5] = {'j', 'u', 'n', 'k', '!'};
+        ASSERT_EQ(std::fwrite(junk, 1, sizeof(junk), f),
+                  sizeof(junk));
+        std::fclose(f);
+    }
+    try {
+        TraceFileReader reader(path);
+        FAIL() << "garbage-suffixed file must fail at open";
+    } catch (const FatalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("trailing garbage"), std::string::npos)
+            << what;
+        // Byte-accurate: names the offset where the garbage starts.
+        EXPECT_NE(what.find("offset " + std::to_string(full)),
+                  std::string::npos)
+            << what;
+    }
+}
+
+TEST_F(TraceFileTest, HeaderCountMismatchIsFatalAtOpen)
+{
+    {
+        TraceFileWriter writer(path);
+        for (const auto &ref : sampleTrace())
+            writer.write(ref);
+    }
+    // Forge the header to promise one extra record: the file is now
+    // "truncated" relative to its own header.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        const auto count =
+            static_cast<std::uint64_t>(sampleTrace().size()) + 1;
+        unsigned char bytes[8];
+        for (int i = 0; i < 8; ++i)
+            bytes[i] = static_cast<unsigned char>(count >> (8 * i));
+        ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);
+        ASSERT_EQ(std::fwrite(bytes, 1, 8, f), 8u);
         std::fclose(f);
     }
     EXPECT_THROW(TraceFileReader reader(path), FatalError);

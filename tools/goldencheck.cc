@@ -1,0 +1,306 @@
+/**
+ * @file
+ * goldencheck: the golden-run regression harness.
+ *
+ * Runs a fixed set of pinned-seed, reduced-budget simulations -- the
+ * full preset ladder plus representative Fig. 5 (write policy) and
+ * Fig. 6 (L2 organisation) design points -- dumps each result as a
+ * gem5-style flat statistics file, and diffs it bit-exactly against
+ * the checked-in golden copy in tests/golden/.  Any PRNG-stream,
+ * timing-model, or accounting change shows up as a first-divergence
+ * diff; DESIGN.md's "determinism is a hard guarantee" becomes an
+ * executable check.
+ *
+ * Usage:
+ *   goldencheck [--golden-dir DIR] [--only NAME]... [--list]
+ *               [--bless]
+ *
+ *   --golden-dir DIR  where the .stats files live
+ *                     (default: tests/golden)
+ *   --only NAME       check just this point (repeatable)
+ *   --list            print the point names and exit
+ *   --bless           regenerate the golden files from the current
+ *                     build instead of checking (review the diff
+ *                     before committing!)
+ *
+ * Exit status: 0 all points match, 1 any mismatch/missing golden,
+ * 2 usage error.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/simulator.hh"
+#include "core/stats_dump.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace gaas;
+
+/** One golden design point: a named, fully pinned simulation. */
+struct GoldenPoint
+{
+    const char *name;
+    core::SystemConfig config;
+    unsigned mpLevel;
+    Count instructions;
+    Count warmup;
+};
+
+/**
+ * The golden set.  Budgets are deliberately small (the harness runs
+ * on every ctest invocation) but past the warmup knee, so every CPI
+ * bucket and miss counter is nonzero and a perturbed timing model
+ * cannot hide.  Everything is pinned: the synthetic workload derives
+ * its PRNG streams from fixed per-benchmark seeds, so the only free
+ * variable is the code under test.
+ */
+std::vector<GoldenPoint>
+goldenPoints()
+{
+    constexpr Count kInstructions = 200'000;
+    constexpr Count kWarmup = 100'000;
+    constexpr unsigned kMp = 8;
+
+    std::vector<GoldenPoint> points;
+    auto add = [&](const char *name, core::SystemConfig cfg) {
+        points.push_back(GoldenPoint{name, std::move(cfg), kMp,
+                                     kInstructions, kWarmup});
+    };
+
+    // The preset ladder: base architecture -> Fig. 11 optimized.
+    add("ladder-base", core::baseline());
+    add("ladder-write-only", core::afterWritePolicy());
+    add("ladder-split-l2", core::afterSplitL2());
+    add("ladder-fetch-8w", core::afterFetchSize());
+    add("ladder-concurrent", core::afterConcurrentIRefill());
+    add("ladder-load-bypass", core::afterLoadBypass());
+    add("ladder-optimized", core::optimized());
+    add("ladder-exchanged", core::splitL2Exchanged());
+
+    // Fig. 5 representatives: the two non-ladder write policies at
+    // the 6-cycle crossover region.
+    {
+        auto cfg = core::withWritePolicy(
+            core::baseline(), core::WritePolicy::WriteMissInvalidate);
+        cfg.name = "fig5-invalidate-6cy";
+        add("fig5-invalidate-6cy", cfg);
+    }
+    {
+        auto cfg = core::withWritePolicy(
+            core::baseline(), core::WritePolicy::SubblockPlacement);
+        cfg.name = "fig5-subblock-6cy";
+        add("fig5-subblock-6cy", cfg);
+    }
+
+    // Fig. 6 representatives: the 64KW decision point, unified vs
+    // logically split, plus the 2-way (+1 cycle) variant.
+    auto fig6 = [&](const char *name, core::L2Org org,
+                    unsigned assoc, Cycles access) {
+        auto cfg = core::afterWritePolicy();
+        cfg.name = name;
+        cfg.l2Org = org;
+        cfg.l2.cache.sizeWords = 64 * 1024;
+        cfg.l2.cache.assoc = assoc;
+        cfg.l2.accessTime = access;
+        add(name, cfg);
+    };
+    fig6("fig6-unified-64kw", core::L2Org::Unified, 1, 6);
+    fig6("fig6-logical-64kw", core::L2Org::LogicalSplit, 1, 6);
+    fig6("fig6-unified-64kw-2way", core::L2Org::Unified, 2, 7);
+
+    // At the reduced budget the 500k-cycle slice almost never
+    // preempts, so pin one short-slice point to keep the round-robin
+    // scheduler's accounting under the harness too (Fig. 3 regime).
+    {
+        auto cfg = core::baseline();
+        cfg.name = "sched-short-slice";
+        cfg.timeSliceCycles = 25'000;
+        add("sched-short-slice", cfg);
+    }
+
+    return points;
+}
+
+/** Run @p point and render its stats dump to a string. */
+std::string
+runPoint(const GoldenPoint &point)
+{
+    const auto result =
+        core::runStandard(point.config, point.instructions,
+                          point.mpLevel, point.warmup);
+    std::ostringstream os;
+    core::dumpStats(result, os);
+    return os.str();
+}
+
+/** @return the whole of @p path, or nullopt-ish empty + ok=false. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/** Print a first-divergence report between expected and actual. */
+void
+reportDiff(const std::string &name, const std::string &expected,
+           const std::string &actual)
+{
+    std::istringstream want(expected), got(actual);
+    std::string wline, gline;
+    unsigned lineno = 0;
+    while (true) {
+        ++lineno;
+        const bool haveWant = static_cast<bool>(
+            std::getline(want, wline));
+        const bool haveGot = static_cast<bool>(
+            std::getline(got, gline));
+        if (!haveWant && !haveGot)
+            break;
+        if (haveWant != haveGot || wline != gline) {
+            std::cerr << "  first divergence at line " << lineno
+                      << ":\n"
+                      << "    golden:  "
+                      << (haveWant ? wline : "<end of file>") << '\n'
+                      << "    current: "
+                      << (haveGot ? gline : "<end of file>") << '\n';
+            return;
+        }
+    }
+    std::cerr << "  (same lines, different bytes -- check line "
+                 "endings)\n";
+    (void)name;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::cerr << "usage: goldencheck [--golden-dir DIR] "
+                 "[--only NAME]... [--list] [--bless]\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string goldenDir = "tests/golden";
+    std::vector<std::string> only;
+    bool bless = false;
+    bool list = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--golden-dir") {
+            goldenDir = next();
+        } else if (arg == "--only") {
+            only.push_back(next());
+        } else if (arg == "--bless") {
+            bless = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else {
+            std::cerr << "unknown option " << arg << '\n';
+            usage();
+        }
+    }
+
+    try {
+        auto points = goldenPoints();
+        if (list) {
+            for (const auto &p : points)
+                std::cout << p.name << '\n';
+            return 0;
+        }
+        if (!only.empty()) {
+            std::vector<GoldenPoint> picked;
+            for (const auto &name : only) {
+                bool found = false;
+                for (auto &p : points) {
+                    if (name == p.name) {
+                        picked.push_back(std::move(p));
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found) {
+                    std::cerr << "goldencheck: no point named '"
+                              << name << "' (see --list)\n";
+                    return 2;
+                }
+            }
+            points = std::move(picked);
+        }
+
+        unsigned failures = 0;
+        for (const auto &point : points) {
+            const std::string path =
+                goldenDir + "/" + point.name + ".stats";
+            const std::string actual = runPoint(point);
+            if (bless) {
+                std::ofstream out(path, std::ios::binary);
+                if (!out || !(out << actual)) {
+                    std::cerr << "goldencheck: cannot write " << path
+                              << '\n';
+                    return 1;
+                }
+                std::cout << "blessed " << point.name << " -> "
+                          << path << '\n';
+                continue;
+            }
+            std::string expected;
+            if (!readFile(path, expected)) {
+                std::cerr << "FAIL " << point.name << ": no golden "
+                          << "file " << path
+                          << " (run goldencheck --bless)\n";
+                ++failures;
+                continue;
+            }
+            if (expected != actual) {
+                std::cerr << "FAIL " << point.name
+                          << ": stats diverge from " << path << '\n';
+                reportDiff(point.name, expected, actual);
+                ++failures;
+            } else {
+                std::cout << "ok   " << point.name << '\n';
+            }
+        }
+
+        if (bless) {
+            std::cout << points.size()
+                      << " golden file(s) regenerated in "
+                      << goldenDir << "; review with git diff "
+                      << "before committing\n";
+            return 0;
+        }
+        if (failures) {
+            std::cerr << failures << " of " << points.size()
+                      << " golden point(s) diverged\n";
+            return 1;
+        }
+        std::cout << "all " << points.size()
+                  << " golden points bit-exact\n";
+    } catch (const FatalError &err) {
+        std::cerr << "goldencheck: " << err.what() << '\n';
+        return 1;
+    }
+    return 0;
+}
