@@ -17,9 +17,10 @@
 #include "core/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gaas;
+    bench::init(argc, argv);
     bench::banner("Ablations", "write buffer depth, drain overlap, "
                                "page colouring, TLB penalty");
 

@@ -1,9 +1,13 @@
 #include "bench_common.hh"
 
+#include <cctype>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 
+#include "core/stats_dump.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 
 namespace gaas::bench
@@ -12,21 +16,17 @@ namespace gaas::bench
 namespace
 {
 
-std::uint64_t
-envU64(const char *name, std::uint64_t fallback)
+/** Shared command-line state (set once by init()). */
+struct Options
 {
-    const char *value = std::getenv(name);
-    if (!value || !*value)
-        return fallback;
-    char *end = nullptr;
-    const std::uint64_t parsed = std::strtoull(value, &end, 10);
-    if (end == value || parsed == 0) {
-        std::cerr << "warn: ignoring bad " << name << "=" << value
-                  << '\n';
-        return fallback;
-    }
-    return parsed;
-}
+    bool progress = false;
+    std::string statsJsonDir;
+};
+
+Options options;
+
+/** Finished points so far, process-wide (JSON filename prefix). */
+std::size_t pointCounter = 0;
 
 std::string
 csvDir()
@@ -35,7 +35,101 @@ csvDir()
     return dir && *dir ? dir : "bench_out";
 }
 
+[[noreturn]] void
+usage(const char *prog, int exit_code)
+{
+    (exit_code == 0 ? std::cout : std::cerr)
+        << "usage: " << prog << " [--progress] [--stats-json DIR]\n"
+        << "  --progress        stderr line per finished point\n"
+        << "  --stats-json DIR  one JSON stats dump per point\n";
+    std::exit(exit_code);
+}
+
+/** Config names become filename stems; keep them path-safe. */
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (!std::isalnum(u) && c != '-' && c != '_' && c != '.')
+            c = '-';
+    }
+    return out.empty() ? std::string("unnamed") : out;
+}
+
 } // namespace
+
+void
+init(int argc, char **argv)
+{
+    const char *prog = argc > 0 ? argv[0] : "bench";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help") {
+            usage(prog, 0);
+        } else if (arg == "--progress") {
+            options.progress = true;
+        } else if (arg == "--stats-json") {
+            if (i + 1 >= argc) {
+                std::cerr << prog << ": --stats-json needs a "
+                          << "directory argument\n";
+                usage(prog, 2);
+            }
+            options.statsJsonDir = argv[++i];
+        } else {
+            std::cerr << prog << ": unknown argument '" << arg
+                      << "'\n";
+            usage(prog, 2);
+        }
+    }
+}
+
+bool
+progressEnabled()
+{
+    if (options.progress)
+        return true;
+    const char *env = std::getenv("GAAS_BENCH_PROGRESS");
+    return env && *env && std::string_view(env) != "0";
+}
+
+std::string
+statsJsonDir()
+{
+    if (!options.statsJsonDir.empty())
+        return options.statsJsonDir;
+    const char *env = std::getenv("GAAS_BENCH_STATS_DIR");
+    return env && *env ? env : "";
+}
+
+void
+notePoint(const core::SimResult &result,
+          const core::SweepJobStats &stats)
+{
+    const std::size_t point = pointCounter++;
+
+    if (progressEnabled()) {
+        std::ostringstream line;
+        line << "[point " << std::setw(3) << std::setfill('0')
+             << point << std::setfill(' ') << ' '
+             << result.configName << ": cpi " << std::fixed
+             << std::setprecision(4) << result.cpi() << ", sim "
+             << std::setprecision(2) << stats.simSeconds
+             << " s, build " << stats.buildSeconds << " s, queue "
+             << stats.queueWaitSeconds << " s, worker "
+             << stats.worker << "]\n";
+        std::cerr << line.str();
+    }
+
+    const std::string dir = statsJsonDir();
+    if (!dir.empty()) {
+        std::ostringstream name;
+        name << std::setw(3) << std::setfill('0') << point << '-'
+             << sanitizeName(result.configName) << ".json";
+        core::dumpStatsJsonFile(result, dir + "/" + name.str());
+    }
+}
 
 Count
 instructionBudget()
@@ -64,15 +158,24 @@ warmupBudget()
 core::SimResult
 run(const core::SystemConfig &config, unsigned mp_level)
 {
-    return core::runStandard(config, instructionBudget(), mp_level,
-                             warmupBudget());
+    const core::SweepJob job{config, mp_level, instructionBudget(),
+                             warmupBudget(), {}};
+    core::SweepJobStats stats;
+    core::SimResult result = core::runSweepJob(job, &stats);
+    notePoint(result, stats);
+    return result;
 }
 
 core::SimResult
 runScaled(const core::SystemConfig &config, unsigned factor)
 {
-    return core::runStandard(config, instructionBudget() * factor,
-                             mpLevel(), warmupBudget() * factor);
+    const core::SweepJob job{config, mpLevel(),
+                             instructionBudget() * factor,
+                             warmupBudget() * factor, {}};
+    core::SweepJobStats stats;
+    core::SimResult result = core::runSweepJob(job, &stats);
+    notePoint(result, stats);
+    return result;
 }
 
 std::size_t
@@ -103,7 +206,12 @@ std::vector<core::SimResult>
 Sweep::run()
 {
     core::SweepStats stats;
-    auto results = core::runSweep(jobs, 0, &stats);
+    auto results = core::runSweep(
+        jobs, 0, &stats,
+        [](std::size_t, const core::SimResult &result,
+           const core::SweepJobStats &job_stats) {
+            notePoint(result, job_stats);
+        });
     jobs.clear();
     std::cout << "[sweep: " << stats.jobs << " configs on "
               << stats.workers << " worker(s), " << std::fixed

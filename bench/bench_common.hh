@@ -2,7 +2,8 @@
  * @file
  * Shared plumbing for the figure/table bench binaries: instruction
  * budgets (overridable via environment), timed simulation runs, the
- * parallel sweep front end, and CSV output placement.
+ * parallel sweep front end, CSV output placement, and per-point
+ * observability (progress lines, JSON stats dumps).
  *
  * Environment knobs:
  *   GAAS_BENCH_INSTRUCTIONS  per-configuration instruction budget
@@ -13,6 +14,14 @@
  *                            hardware_concurrency)
  *   GAAS_BENCH_CSV_DIR       where CSVs are written
  *                            (default ./bench_out)
+ *   GAAS_BENCH_PROGRESS      any value but "0": stderr progress line
+ *                            per finished point (same as --progress)
+ *   GAAS_BENCH_STATS_DIR     write one JSON stats dump per point
+ *                            into this directory (same as
+ *                            --stats-json DIR)
+ *
+ * All numeric knobs parse strictly (util/env.hh): trailing garbage,
+ * signs, zero and overflow are rejected with a warning.
  */
 
 #ifndef GAAS_BENCH_COMMON_HH
@@ -30,6 +39,35 @@
 
 namespace gaas::bench
 {
+
+/**
+ * Parse the bench binaries' shared command line.  Recognised flags:
+ *
+ *   --progress         stderr line per finished point
+ *   --stats-json DIR   one JSON stats dump per point into DIR
+ *   --help             print usage and exit 0
+ *
+ * Anything else prints usage to stderr and exits 2.  Call first in
+ * every figure main().
+ */
+void init(int argc, char **argv);
+
+/** True when --progress or GAAS_BENCH_PROGRESS (not "0") is set. */
+bool progressEnabled();
+
+/** JSON dump directory (--stats-json / GAAS_BENCH_STATS_DIR);
+ *  empty when per-point dumps are disabled. */
+std::string statsJsonDir();
+
+/**
+ * Record one finished simulation point: bumps the process-wide point
+ * counter, emits the stderr progress line when enabled, and writes
+ * `<statsJsonDir()>/NNN-<config>.json` when a dump directory is
+ * configured.  The counter makes filenames collision-free even when
+ * a figure runs the same configuration at several workload levels.
+ */
+void notePoint(const core::SimResult &result,
+               const core::SweepJobStats &stats);
 
 /** Per-configuration instruction budget. */
 Count instructionBudget();
@@ -89,8 +127,10 @@ class Sweep
     /**
      * Run every enqueued job across GAAS_BENCH_JOBS workers, print a
      * one-line wall-clock/throughput summary, and return the results
-     * in enqueue order.  The queue is cleared so the Sweep can be
-     * reused (the ablations binary runs one sweep per table).
+     * in enqueue order.  Every finished point flows through
+     * notePoint() (in enqueue order, on this thread).  The queue is
+     * cleared so the Sweep can be reused (the ablations binary runs
+     * one sweep per table).
      */
     std::vector<core::SimResult> run();
 

@@ -25,9 +25,10 @@
 #include "core/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gaas;
+    bench::init(argc, argv);
     bench::banner("Fig. 10", "gains from memory-system concurrency");
 
     auto assoc_bypass = core::afterConcurrentIRefill();

@@ -16,9 +16,10 @@
 #include "core/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gaas;
+    bench::init(argc, argv);
     bench::banner("Fig. 11", "the optimized architecture");
 
     const auto base = bench::runScaled(core::baseline(), 3);

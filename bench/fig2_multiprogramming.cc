@@ -16,9 +16,10 @@
 #include "core/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gaas;
+    bench::init(argc, argv);
     bench::banner("Fig. 2", "effect of multiprogramming level on "
                             "cache performance");
 

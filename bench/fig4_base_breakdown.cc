@@ -14,9 +14,10 @@
 #include "core/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gaas;
+    bench::init(argc, argv);
     bench::banner("Fig. 4",
                   "performance losses of the base architecture");
 

@@ -19,9 +19,10 @@
 #include "core/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gaas;
+    bench::init(argc, argv);
     bench::banner("Fig. 5", "write policy vs. L2 access time "
                             "trade-off");
 

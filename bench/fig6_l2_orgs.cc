@@ -18,9 +18,10 @@
 #include "core/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gaas;
+    bench::init(argc, argv);
     bench::banner("Fig. 6 / Table 2", "L2 size and organisation");
 
     struct Org

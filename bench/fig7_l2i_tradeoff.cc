@@ -16,9 +16,10 @@
 #include "core/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gaas;
+    bench::init(argc, argv);
     bench::banner("Fig. 7", "L2-I speed-size trade-off (CPI "
                             "contribution of the instruction side)");
 

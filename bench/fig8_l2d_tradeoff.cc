@@ -16,9 +16,10 @@
 #include "core/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gaas;
+    bench::init(argc, argv);
     bench::banner("Fig. 8", "L2-D speed-size trade-off (CPI "
                             "contribution of the data side, writes "
                             "ignored)");

@@ -17,9 +17,10 @@
 #include "core/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gaas;
+    bench::init(argc, argv);
     bench::banner("Fig. 9", "gains from the split L2 and the 8W "
                             "fetch size");
 

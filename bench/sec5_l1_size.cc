@@ -19,9 +19,10 @@
 #include "core/config.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gaas;
+    bench::init(argc, argv);
     bench::banner("Sec. 5", "primary cache size and associativity "
                             "under cycle-time constraints");
 

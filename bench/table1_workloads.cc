@@ -16,9 +16,10 @@
 #include "trace/compose.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gaas;
+    bench::init(argc, argv);
     bench::banner("Table 1", "benchmarks of the multiprogramming "
                              "workload");
 

@@ -22,6 +22,11 @@
 #include "mmu/tlb.hh"
 #include "util/types.hh"
 
+namespace gaas::obs
+{
+class Registry;
+} // namespace gaas::obs
+
 namespace gaas::core
 {
 
@@ -42,6 +47,9 @@ struct CpiComponents
         return l1iMiss + l1dMiss + l1Writes + wbWait + l2iMiss +
                l2dMiss + tlb;
     }
+
+    /** Register the per-loss-source cycle buckets as `cpi.*`. */
+    void registerInto(obs::Registry &r) const;
 };
 
 /** Event counters the cache system gathers. */
@@ -86,6 +94,10 @@ struct SysStats
     double l2iMissRatio() const;
     double l2dMissRatio() const;
     ///@}
+
+    /** Register every counter and ratio (`l1i.*`, `l1d.*`, `l2*.*`,
+     *  then the folded-in WB/memory/TLB statistics). */
+    void registerInto(obs::Registry &r) const;
 };
 
 /** Everything a simulation run produces. */
@@ -100,11 +112,16 @@ struct SimResult
 
     /**
      * Host wall-clock seconds spent inside Simulator::run (warmup
-     * included).  Timing only: this is the one field that is NOT
+     * included).  Timing only: like hostStatsSeconds this is NOT
      * deterministic, so equality comparisons (the sweep-engine
-     * determinism tests) must exclude it.
+     * determinism tests) must exclude it; neither appears in any
+     * stats dump.
      */
     double hostSeconds = 0.0;
+
+    /** Host seconds Simulator::run spent assembling this result
+     *  after the simulation loop ended (non-deterministic). */
+    double hostStatsSeconds = 0.0;
 
     CpiComponents comp{};
     SysStats sys{};

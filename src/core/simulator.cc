@@ -1,7 +1,6 @@
 #include "simulator.hh"
 
-#include <chrono>
-
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace gaas::core
@@ -151,25 +150,30 @@ Simulator::resetMeasurement()
 SimResult
 Simulator::run(Count total_instructions, Count warmup_instructions)
 {
-    const auto start = std::chrono::steady_clock::now();
+    const obs::Stopwatch wall;
     if (warmup_instructions > 0) {
         runLoop(warmup_instructions);
         resetMeasurement();
     }
     runLoop(total_instructions);
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
+    const double loop_seconds = wall.seconds();
 
     SimResult res;
-    res.hostSeconds = elapsed.count();
-    res.configName = cfg.name;
-    res.instructions = instructions;
-    res.cycles = now - measureStartCycle;
-    res.cpuStallCycles = cpuStallCycles;
-    res.contextSwitches = contextSwitches;
-    res.syscallSwitches = syscallSwitches;
-    res.comp = sys.components();
-    res.sys = sys.stats();
+    {
+        // Attribute result assembly (stats gathering) separately from
+        // the simulation loop, so sweep telemetry can show where the
+        // host time went.
+        obs::ScopedTimer stats_timer(res.hostStatsSeconds);
+        res.configName = cfg.name;
+        res.instructions = instructions;
+        res.cycles = now - measureStartCycle;
+        res.cpuStallCycles = cpuStallCycles;
+        res.contextSwitches = contextSwitches;
+        res.syscallSwitches = syscallSwitches;
+        res.comp = sys.components();
+        res.sys = sys.stats();
+    }
+    res.hostSeconds = loop_seconds;
     return res;
 }
 

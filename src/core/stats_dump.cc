@@ -1,30 +1,56 @@
 #include "stats_dump.hh"
 
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
+#include <sstream>
 
+#include "obs/json.hh"
 #include "util/logging.hh"
 
 namespace gaas::core
 {
 
+obs::Registry
+collectStats(const SimResult &r)
+{
+    obs::Registry reg;
+    reg.beginSection("machine");
+    reg.counter("sim.instructions", r.instructions,
+                "instructions executed");
+    reg.counter("sim.cycles", r.cycles, "cycles elapsed");
+    reg.value("sim.cpi", r.cpi(), "cycles per instruction");
+    reg.value("sim.base_cpi", r.baseCpi(),
+              "CPU-only floor (1 + cpu stalls)");
+    reg.value("sim.mem_cpi", r.memCpi(),
+              "memory-system contribution to CPI");
+    reg.counter("sim.context_switches", r.contextSwitches,
+                "total context switches");
+    reg.counter("sim.syscall_switches", r.syscallSwitches,
+                "switches forced by voluntary syscalls");
+    r.comp.registerInto(reg);
+    r.sys.registerInto(reg);
+    return reg;
+}
+
 namespace
 {
 
+/** The flat golden format, one registry entry per line. */
 class Emitter
 {
   public:
     explicit Emitter(std::ostream &os) : os(os) {}
 
     void
-    section(const char *title)
+    section(const std::string &title)
     {
         os << "\n# ---- " << title << " ----\n";
     }
 
     void
-    value(const char *name, double v, const char *desc)
+    value(const std::string &name, double v, const std::string &desc)
     {
         os << std::left << std::setw(36) << name << ' '
            << std::setw(16) << std::setprecision(8) << v << " # "
@@ -32,7 +58,7 @@ class Emitter
     }
 
     void
-    count(const char *name, Count v, const char *desc)
+    count(const std::string &name, Count v, const std::string &desc)
     {
         os << std::left << std::setw(36) << name << ' '
            << std::setw(16) << v << " # " << desc << '\n';
@@ -47,100 +73,30 @@ class Emitter
 void
 dumpStats(const SimResult &r, std::ostream &os)
 {
+    const obs::Registry reg = collectStats(r);
     Emitter e(os);
     os << "# gaascache statistics: " << r.configName << '\n';
 
-    e.section("machine");
-    e.count("sim.instructions", r.instructions,
-            "instructions executed");
-    e.count("sim.cycles", r.cycles, "cycles elapsed");
-    e.value("sim.cpi", r.cpi(), "cycles per instruction");
-    e.value("sim.base_cpi", r.baseCpi(),
-            "CPU-only floor (1 + cpu stalls)");
-    e.value("sim.mem_cpi", r.memCpi(),
-            "memory-system contribution to CPI");
-    e.count("sim.context_switches", r.contextSwitches,
-            "total context switches");
-    e.count("sim.syscall_switches", r.syscallSwitches,
-            "switches forced by voluntary syscalls");
-
-    e.section("cpi breakdown (cycles)");
-    e.count("cpi.l1i_miss", r.comp.l1iMiss,
-            "L1-I misses: L2-I access cycles");
-    e.count("cpi.l1d_miss", r.comp.l1dMiss,
-            "L1-D misses: L2-D access cycles");
-    e.count("cpi.l1_writes", r.comp.l1Writes,
-            "extra write hit/miss cycles");
-    e.count("cpi.wb_wait", r.comp.wbWait,
-            "waiting on the write buffer");
-    e.count("cpi.l2i_miss", r.comp.l2iMiss,
-            "L2-I misses: memory cycles");
-    e.count("cpi.l2d_miss", r.comp.l2dMiss,
-            "L2-D misses: memory cycles");
-    e.count("cpi.tlb", r.comp.tlb, "TLB miss penalty cycles");
-
-    const auto &s = r.sys;
-    e.section("L1");
-    e.count("l1i.fetches", s.ifetches, "instruction fetches");
-    e.count("l1i.misses", s.l1iMisses, "L1-I misses");
-    e.value("l1i.miss_ratio", s.l1iMissRatio(), "misses / fetches");
-    e.count("l1d.loads", s.loads, "loads");
-    e.count("l1d.read_misses", s.l1dReadMisses, "load misses");
-    e.value("l1d.read_miss_ratio", s.l1dReadMissRatio(),
-            "read misses / loads");
-    e.count("l1d.stores", s.stores, "stores");
-    e.count("l1d.write_misses", s.l1dWriteMisses, "store misses");
-    e.value("l1d.write_miss_ratio", s.l1dWriteMissRatio(),
-            "write misses / stores");
-    e.count("l1d.write_only_read_misses", s.writeOnlyReadMisses,
-            "reads that hit a write-only tag");
-
-    e.section("L2");
-    e.count("l2i.accesses", s.l2iAccesses, "instruction-side refills");
-    e.count("l2i.misses", s.l2iMisses, "instruction-side misses");
-    e.value("l2i.miss_ratio", s.l2iMissRatio(), "misses / accesses");
-    e.count("l2d.accesses", s.l2dAccesses, "data-side refills");
-    e.count("l2d.misses", s.l2dMisses, "data-side misses");
-    e.value("l2d.miss_ratio", s.l2dMissRatio(), "misses / accesses");
-    e.value("l2.miss_ratio", s.l2MissRatio(), "combined local ratio");
-    e.count("l2.dirty_misses", s.l2DirtyMisses,
-            "misses evicting a dirty line");
-    e.count("l2.write_allocates", s.l2WriteAllocates,
-            "write-buffer drains that allocated");
-
-    e.section("write buffer");
-    e.count("wb.pushes", s.wb.pushes, "entries enqueued");
-    e.count("wb.full_stalls", s.wb.fullStalls,
-            "pushes that found the buffer full");
-    e.count("wb.full_stall_cycles", s.wb.fullStallCycles,
-            "cycles stalled on full pushes");
-    e.count("wb.drain_waits", s.wb.drainWaits,
-            "misses that waited for the drain");
-    e.count("wb.drain_wait_cycles", s.wb.drainWaitCycles,
-            "cycles spent in drain waits");
-    e.count("wb.bypasses", s.wb.bypasses,
-            "misses allowed past pending writes");
-    e.count("wb.max_occupancy", s.wb.maxOccupancy,
-            "deepest the buffer got");
-
-    e.section("memory");
-    e.count("mem.reads", s.memory.reads, "line fetches");
-    e.count("mem.dirty_writebacks", s.memory.dirtyWritebacks,
-            "dirty-line writebacks");
-    e.count("mem.bus_waits", s.memory.busWaits,
-            "accesses that waited for the bus");
-    e.count("mem.bus_wait_cycles", s.memory.busWaitCycles,
-            "cycles waiting for the bus");
-
-    e.section("TLB");
-    e.count("itlb.accesses", s.itlb.accesses, "ITLB lookups");
-    e.count("itlb.misses", s.itlb.misses, "ITLB misses");
-    e.value("itlb.miss_ratio", s.itlb.missRatio(),
-            "misses / accesses");
-    e.count("dtlb.accesses", s.dtlb.accesses, "DTLB lookups");
-    e.count("dtlb.misses", s.dtlb.misses, "DTLB misses");
-    e.value("dtlb.miss_ratio", s.dtlb.missRatio(),
-            "misses / accesses");
+    const std::string *section = nullptr;
+    for (const obs::Entry &entry : reg.entries()) {
+        if (!section || *section != entry.section) {
+            section = &entry.section;
+            e.section(entry.section);
+        }
+        switch (entry.kind) {
+          case obs::Kind::Counter:
+            e.count(entry.name, entry.count, entry.desc);
+            break;
+          case obs::Kind::Value:
+            e.value(entry.name, entry.value, entry.desc);
+            break;
+          case obs::Kind::Buckets:
+            // Bucket vectors (histograms) have no flat-format line
+            // per bucket; the moments registered alongside them
+            // cover the flat dump.  (SimResult registers none.)
+            break;
+        }
+    }
     os.flush();
 }
 
@@ -153,6 +109,34 @@ dumpStatsFile(const SimResult &result, const std::string &path)
         return false;
     }
     dumpStats(result, out);
+    return static_cast<bool>(out);
+}
+
+void
+dumpStatsJson(const SimResult &result, std::ostream &os)
+{
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.members.emplace_back(
+        "config", obs::JsonValue::string(result.configName));
+    obs::JsonValue stats = obs::toJson(collectStats(result));
+    for (auto &m : stats.members)
+        doc.members.push_back(std::move(m));
+    obs::writeJson(doc, os);
+}
+
+bool
+dumpStatsJsonFile(const SimResult &result, const std::string &path)
+{
+    const std::filesystem::path p(path);
+    std::error_code ec;
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write JSON stats to ", path);
+        return false;
+    }
+    dumpStatsJson(result, out);
     return static_cast<bool>(out);
 }
 

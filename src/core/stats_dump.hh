@@ -1,8 +1,17 @@
 /**
  * @file
- * Flat name=value statistics dump of a SimResult, in the spirit of
- * gem5's stats.txt: one line per statistic, stable names, suitable
- * for diffing runs and for scripted post-processing.
+ * Statistics dumps of a SimResult, in two formats sharing one
+ * schema:
+ *
+ *  - the flat `<name> <value> # <description>` format in the spirit
+ *    of gem5's stats.txt (stable names, suitable for diffing and the
+ *    golden-run harness), and
+ *  - a hierarchical JSON sibling (dotted names become nested
+ *    objects, keys in schema order, shortest-round-trip numbers) for
+ *    machine consumption.
+ *
+ * Both emitters walk the same obs::Registry built by collectStats(),
+ * so they can never disagree about names or values.
  */
 
 #ifndef GAAS_CORE_STATS_DUMP_HH
@@ -12,9 +21,19 @@
 #include <string>
 
 #include "core/cpi.hh"
+#include "obs/metrics.hh"
 
 namespace gaas::core
 {
+
+/**
+ * Build the observability registry for @p result: every statistic of
+ * the flat dump under its stable dotted name, in dump order.  The
+ * subsystem stats structs register their own names (see their
+ * registerInto methods); this function only adds the machine-level
+ * `sim.*` entries and fixes the section order.
+ */
+obs::Registry collectStats(const SimResult &result);
 
 /**
  * Write every statistic of @p result to @p os as
@@ -24,6 +43,19 @@ void dumpStats(const SimResult &result, std::ostream &os);
 
 /** dumpStats to a file; @return false (with a warning) on failure. */
 bool dumpStatsFile(const SimResult &result, const std::string &path);
+
+/**
+ * Write @p result as a JSON object: a `config` key with the
+ * configuration name, then one nested object per name prefix
+ * (`sim`, `cpi`, `l1i`, ...), keys in flat-dump order.  Counters are
+ * integers; derived ratios are shortest-round-trip doubles.
+ */
+void dumpStatsJson(const SimResult &result, std::ostream &os);
+
+/** dumpStatsJson to a file (parent directories are created);
+ *  @return false (with a warning) on failure. */
+bool dumpStatsJsonFile(const SimResult &result,
+                       const std::string &path);
 
 } // namespace gaas::core
 

@@ -1,10 +1,14 @@
 #include "sweep.hh"
 
-#include <chrono>
-#include <cstdlib>
-#include <future>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 
+#include "obs/metrics.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -22,66 +26,116 @@ SweepStats::refsPerSecond() const
 unsigned
 sweepWorkers()
 {
-    if (const char *env = std::getenv("GAAS_BENCH_JOBS");
-        env && *env) {
-        char *end = nullptr;
-        const unsigned long parsed = std::strtoul(env, &end, 10);
-        if (end != env && parsed > 0)
-            return static_cast<unsigned>(parsed);
-        warn("ignoring bad GAAS_BENCH_JOBS=", env);
+    const std::uint64_t parsed = envU64("GAAS_BENCH_JOBS", 0);
+    if (parsed > std::numeric_limits<unsigned>::max()) {
+        warn("ignoring GAAS_BENCH_JOBS=", parsed,
+             " (more workers than fit an unsigned)");
+    } else if (parsed > 0) {
+        return static_cast<unsigned>(parsed);
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
 }
 
 SimResult
-runSweepJob(const SweepJob &job)
+runSweepJob(const SweepJob &job, SweepJobStats *stats)
 {
-    Workload workload =
-        job.workload ? job.workload() : Workload::standard(job.mpLevel);
-    Simulator sim(job.config, std::move(workload));
-    return sim.run(job.instructions, job.warmup);
+    SweepJobStats local;
+    const obs::Stopwatch total;
+    SimResult result;
+    {
+        // The simulator is built inside the build phase and run in
+        // the sim phase; std::optional lets the two RAII timers
+        // bracket construction and execution separately.
+        std::optional<Simulator> sim;
+        {
+            obs::ScopedTimer timer(local.buildSeconds);
+            Workload workload = job.workload
+                                    ? job.workload()
+                                    : Workload::standard(job.mpLevel);
+            sim.emplace(job.config, std::move(workload));
+        }
+        {
+            obs::ScopedTimer timer(local.simSeconds);
+            result = sim->run(job.instructions, job.warmup);
+        }
+    }
+    if (stats) {
+        stats->buildSeconds = local.buildSeconds;
+        stats->simSeconds = local.simSeconds;
+        stats->totalSeconds = total.seconds();
+    }
+    return result;
 }
 
 std::vector<SimResult>
 runSweep(const std::vector<SweepJob> &jobs, unsigned workers,
-         SweepStats *stats)
+         SweepStats *stats, const SweepProgress &progress)
 {
     if (workers == 0)
         workers = sweepWorkers();
 
-    const auto start = std::chrono::steady_clock::now();
+    const obs::Stopwatch wall;
     std::vector<SimResult> results;
     results.reserve(jobs.size());
 
+    // One telemetry slot per job, preallocated so workers write
+    // disjoint elements; the future handoff orders each slot's write
+    // before the gathering thread reads it.
+    std::vector<SweepJobStats> job_stats(jobs.size());
+
     if (workers <= 1 || jobs.size() <= 1) {
         // Serial reference path: also the pooled path's ground truth.
-        for (const auto &job : jobs)
-            results.push_back(runSweepJob(job));
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            results.push_back(runSweepJob(jobs[i], &job_stats[i]));
+            if (progress)
+                progress(i, results.back(), job_stats[i]);
+        }
     } else {
         ThreadPool pool(workers);
+        std::mutex id_mutex;
+        std::map<std::thread::id, unsigned> worker_ids;
         std::vector<std::future<SimResult>> futures;
         futures.reserve(jobs.size());
-        for (const auto &job : jobs) {
-            futures.push_back(
-                pool.submit([&job] { return runSweepJob(job); }));
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const SweepJob &job = jobs[i];
+            SweepJobStats &slot = job_stats[i];
+            const obs::Stopwatch submitted;
+            futures.push_back(pool.submit([&job, &slot, &id_mutex,
+                                           &worker_ids, submitted] {
+                slot.queueWaitSeconds = submitted.seconds();
+                {
+                    // Dense worker indices, assigned in first-job
+                    // order -- stable enough to spot an idle or
+                    // overloaded worker in the telemetry.
+                    std::lock_guard<std::mutex> lock(id_mutex);
+                    slot.worker = static_cast<unsigned>(
+                        worker_ids
+                            .emplace(std::this_thread::get_id(),
+                                     worker_ids.size())
+                            .first->second);
+                }
+                return runSweepJob(job, &slot);
+            }));
         }
         // Futures are held in submission order, so gathering them in
         // order restores determinism no matter how the workers
         // interleaved.
-        for (auto &future : futures)
-            results.push_back(future.get());
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            results.push_back(futures[i].get());
+            if (progress)
+                progress(i, results.back(), job_stats[i]);
+        }
     }
 
     if (stats) {
-        const std::chrono::duration<double> elapsed =
-            std::chrono::steady_clock::now() - start;
         stats->jobs = jobs.size();
         stats->workers = workers;
-        stats->wallSeconds = elapsed.count();
+        stats->wallSeconds = wall.seconds();
         stats->references = 0;
         for (const auto &res : results)
             stats->references += res.references();
+        stats->perJob = std::move(job_stats);
     }
     return results;
 }

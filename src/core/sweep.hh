@@ -50,6 +50,26 @@ struct SweepJob
     std::function<Workload()> workload;
 };
 
+/** Host-time telemetry for one executed sweep job. */
+struct SweepJobStats
+{
+    /** Seconds between submission and a worker picking the job up. */
+    double queueWaitSeconds = 0.0;
+
+    /** Workload construction (trace generators, simulator setup). */
+    double buildSeconds = 0.0;
+
+    /** The simulation run itself (Simulator::run). */
+    double simSeconds = 0.0;
+
+    /** End-to-end on the worker (build + sim + result handoff). */
+    double totalSeconds = 0.0;
+
+    /** Which pool worker ran the job (0 on the serial path).
+     *  Worker indices are dense, assigned in first-job order. */
+    unsigned worker = 0;
+};
+
 /** Aggregate wall-clock accounting of one runSweep() call. */
 struct SweepStats
 {
@@ -60,14 +80,27 @@ struct SweepStats
     /** Sum of SimResult::references() over the whole sweep. */
     Count references = 0;
 
+    /** Per-job telemetry, in submission order. */
+    std::vector<SweepJobStats> perJob;
+
     /** End-to-end sweep throughput (all workers combined). */
     double refsPerSecond() const;
 };
 
 /**
+ * Per-point completion callback: (submission index, result, job
+ * telemetry).  Always invoked on the calling thread, in submission
+ * order, as results are gathered -- so it may write to shared state
+ * (progress lines, JSON dumps) without locking.
+ */
+using SweepProgress = std::function<void(
+    std::size_t, const SimResult &, const SweepJobStats &)>;
+
+/**
  * Worker count used when runSweep is called with workers == 0:
- * GAAS_BENCH_JOBS if set and positive, else hardware_concurrency
- * (floor 1).
+ * GAAS_BENCH_JOBS if it parses strictly as a positive integer that
+ * fits an unsigned (anything else -- trailing garbage, overflow,
+ * zero -- warns and is ignored), else hardware_concurrency (floor 1).
  */
 unsigned sweepWorkers();
 
@@ -75,19 +108,28 @@ unsigned sweepWorkers();
  * Run one job (build its workload, simulate, return the result).
  * This is the exact function the pool workers execute, exposed so
  * tests can compare serial against pooled execution.
+ *
+ * @param stats if non-null, filled with the job's build/sim phase
+ *        seconds (queueWaitSeconds and worker are left untouched;
+ *        the pool owns those)
  */
-SimResult runSweepJob(const SweepJob &job);
+SimResult runSweepJob(const SweepJob &job,
+                      SweepJobStats *stats = nullptr);
 
 /**
  * Run @p jobs across @p workers threads (0 = sweepWorkers()).
  *
- * @param stats filled with wall-clock/throughput totals if non-null
+ * @param stats filled with wall-clock/throughput totals and per-job
+ *        telemetry if non-null
+ * @param progress invoked once per job, in submission order, on the
+ *        calling thread
  * @return one SimResult per job, in submission order; bit-identical
- *         to running the jobs serially (hostSeconds excepted)
+ *         to running the jobs serially (host timing fields excepted)
  */
 std::vector<SimResult> runSweep(const std::vector<SweepJob> &jobs,
                                 unsigned workers = 0,
-                                SweepStats *stats = nullptr);
+                                SweepStats *stats = nullptr,
+                                const SweepProgress &progress = {});
 
 } // namespace gaas::core
 

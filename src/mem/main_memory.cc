@@ -1,9 +1,23 @@
 #include "main_memory.hh"
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace gaas::mem
 {
+
+void
+MainMemoryStats::registerInto(obs::Registry &r) const
+{
+    r.beginSection("memory");
+    r.counter("mem.reads", reads, "line fetches");
+    r.counter("mem.dirty_writebacks", dirtyWritebacks,
+              "dirty-line writebacks");
+    r.counter("mem.bus_waits", busWaits,
+              "accesses that waited for the bus");
+    r.counter("mem.bus_wait_cycles", busWaitCycles,
+              "cycles waiting for the bus");
+}
 
 MainMemory::MainMemory(const MainMemoryConfig &config) : cfg(config)
 {

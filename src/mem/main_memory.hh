@@ -19,6 +19,11 @@
 
 #include "util/types.hh"
 
+namespace gaas::obs
+{
+class Registry;
+} // namespace gaas::obs
+
 namespace gaas::mem
 {
 
@@ -40,6 +45,9 @@ struct MainMemoryStats
     Count dirtyWritebacks = 0;
     Cycles busWaitCycles = 0; //!< waiting for an earlier access
     Count busWaits = 0;
+
+    /** Register every counter as `mem.*` (see obs/metrics.hh). */
+    void registerInto(obs::Registry &r) const;
 };
 
 /** The memory + bus model; see file comment. */

@@ -2,11 +2,31 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
 namespace gaas::mem
 {
+
+void
+WriteBufferStats::registerInto(obs::Registry &r) const
+{
+    r.beginSection("write buffer");
+    r.counter("wb.pushes", pushes, "entries enqueued");
+    r.counter("wb.full_stalls", fullStalls,
+              "pushes that found the buffer full");
+    r.counter("wb.full_stall_cycles", fullStallCycles,
+              "cycles stalled on full pushes");
+    r.counter("wb.drain_waits", drainWaits,
+              "misses that waited for the drain");
+    r.counter("wb.drain_wait_cycles", drainWaitCycles,
+              "cycles spent in drain waits");
+    r.counter("wb.bypasses", bypasses,
+              "misses allowed past pending writes");
+    r.counter("wb.max_occupancy", maxOccupancy,
+              "deepest the buffer got");
+}
 
 WriteBuffer::WriteBuffer(const WriteBufferConfig &config) : cfg(config)
 {

@@ -23,6 +23,11 @@
 
 #include "util/types.hh"
 
+namespace gaas::obs
+{
+class Registry;
+} // namespace gaas::obs
+
 namespace gaas::mem
 {
 
@@ -53,6 +58,9 @@ struct WriteBufferStats
     Cycles drainWaitCycles = 0;  //!< cycles spent in those waits
     Count bypasses = 0;          //!< misses that did not need to wait
     Count maxOccupancy = 0;
+
+    /** Register every counter as `wb.*` (see obs/metrics.hh). */
+    void registerInto(obs::Registry &r) const;
 };
 
 /** The write-buffer model; see file comment. */

@@ -1,10 +1,25 @@
 #include "tlb.hh"
 
+#include <string>
+
+#include "obs/metrics.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
 namespace gaas::mmu
 {
+
+void
+TlbStats::registerInto(obs::Registry &r, const char *prefix,
+                       const char *label) const
+{
+    r.beginSection("TLB");
+    const std::string p(prefix);
+    const std::string l(label);
+    r.counter(p + ".accesses", accesses, l + " lookups");
+    r.counter(p + ".misses", misses, l + " misses");
+    r.value(p + ".miss_ratio", missRatio(), "misses / accesses");
+}
 
 Tlb::Tlb(const TlbConfig &config) : cfg(config)
 {

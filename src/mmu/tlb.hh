@@ -16,6 +16,11 @@
 
 #include "util/types.hh"
 
+namespace gaas::obs
+{
+class Registry;
+} // namespace gaas::obs
+
 namespace gaas::mmu
 {
 
@@ -39,6 +44,13 @@ struct TlbStats
                               static_cast<double>(accesses)
                         : 0.0;
     }
+
+    /**
+     * Register accesses/misses/miss_ratio under @p prefix (e.g.
+     * "itlb"), described as @p label (e.g. "ITLB").
+     */
+    void registerInto(obs::Registry &r, const char *prefix,
+                      const char *label) const;
 };
 
 /** A PID-tagged set-associative TLB with LRU replacement. */

@@ -1,0 +1,93 @@
+#include "metrics.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace gaas::obs
+{
+
+void
+Registry::beginSection(std::string title)
+{
+    section = std::move(title);
+}
+
+void
+Registry::push(Entry e)
+{
+    if (find(e.name)) {
+        gaas_fatal("duplicate metric name '", e.name,
+                   "' registered");
+    }
+    e.section = section;
+    items.push_back(std::move(e));
+}
+
+void
+Registry::counter(std::string name, Count v, std::string desc)
+{
+    Entry e;
+    e.name = std::move(name);
+    e.desc = std::move(desc);
+    e.kind = Kind::Counter;
+    e.count = v;
+    push(std::move(e));
+}
+
+void
+Registry::value(std::string name, double v, std::string desc)
+{
+    Entry e;
+    e.name = std::move(name);
+    e.desc = std::move(desc);
+    e.kind = Kind::Value;
+    e.value = v;
+    push(std::move(e));
+}
+
+void
+Registry::sampleStat(const std::string &name,
+                     const stats::SampleStat &s,
+                     const std::string &desc)
+{
+    counter(name + ".count", s.count(), desc + ": samples");
+    value(name + ".mean", s.mean(), desc + ": mean");
+    value(name + ".stddev", s.stddev(), desc + ": stddev");
+    value(name + ".min", s.min(), desc + ": minimum");
+    value(name + ".max", s.max(), desc + ": maximum");
+}
+
+void
+Registry::histogram(const std::string &name,
+                    const stats::Histogram &h,
+                    const std::string &desc)
+{
+    value(name + ".bucket_width", h.bucketWidth(),
+          desc + ": bucket width");
+    counter(name + ".underflow", h.underflow(),
+            desc + ": samples below bucket 0");
+    Entry e;
+    e.name = name + ".buckets";
+    e.desc = desc + ": per-bucket counts";
+    e.kind = Kind::Buckets;
+    e.buckets.reserve(h.bucketCount());
+    for (std::size_t i = 0; i < h.bucketCount(); ++i)
+        e.buckets.push_back(h.bucket(i));
+    push(std::move(e));
+    counter(name + ".overflow", h.overflow(),
+            desc + ": samples beyond the last bucket");
+    sampleStat(name, h.moments(), desc);
+}
+
+const Entry *
+Registry::find(std::string_view name) const
+{
+    for (const auto &e : items) {
+        if (e.name == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+} // namespace gaas::obs

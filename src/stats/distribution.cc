@@ -51,7 +51,7 @@ Histogram::add(double x)
 {
     sample.add(x);
     if (x < 0.0) {
-        ++counts[0];
+        ++underflowCount;
         return;
     }
     const auto idx = static_cast<std::size_t>(x / width);
@@ -64,17 +64,30 @@ Histogram::add(double x)
 double
 Histogram::cdf(double x) const
 {
-    if (sample.count() == 0)
+    const std::uint64_t n = sample.count();
+    if (n == 0)
         return 0.0;
-    std::uint64_t below = 0;
-    const auto limit = static_cast<std::size_t>(
-        x < 0.0 ? 0.0 : std::floor(x / width));
-    for (std::size_t i = 0; i < counts.size() && i <= limit; ++i)
+    if (x < 0.0) {
+        return static_cast<double>(underflowCount) /
+               static_cast<double>(n);
+    }
+    // Bucket i lies (at least partly) below x iff its lower edge
+    // i*width < x, i.e. for the first ceil(x/width) buckets.  Using
+    // ceil (not floor with an inclusive bound) keeps the CDF exact at
+    // bucket boundaries: cdf(k*width) counts exactly the samples in
+    // buckets 0..k-1 plus the underflow tail, which are precisely
+    // the samples < k*width.
+    const double buckets_below = std::ceil(x / width);
+    std::uint64_t below = underflowCount;
+    const std::size_t limit =
+        buckets_below >= static_cast<double>(counts.size())
+            ? counts.size()
+            : static_cast<std::size_t>(buckets_below);
+    for (std::size_t i = 0; i < limit; ++i)
         below += counts[i];
-    if (limit >= counts.size())
+    if (buckets_below > static_cast<double>(counts.size()))
         below += overflowCount;
-    return static_cast<double>(below) /
-           static_cast<double>(sample.count());
+    return static_cast<double>(below) / static_cast<double>(n);
 }
 
 double
@@ -84,7 +97,9 @@ Histogram::quantile(double q) const
         return 0.0;
     const auto target = static_cast<std::uint64_t>(
         q * static_cast<double>(sample.count()));
-    std::uint64_t cum = 0;
+    std::uint64_t cum = underflowCount;
+    if (cum >= target)
+        return 0.0;
     for (std::size_t i = 0; i < counts.size(); ++i) {
         cum += counts[i];
         if (cum >= target)
@@ -98,6 +113,7 @@ Histogram::reset()
 {
     for (auto &c : counts)
         c = 0;
+    underflowCount = 0;
     overflowCount = 0;
     sample.reset();
 }

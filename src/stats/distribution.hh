@@ -69,7 +69,9 @@ class SampleStat
 
 /**
  * Fixed-width bucketed histogram over [0, bucketWidth * bucketCount),
- * with an overflow bucket; also tracks the SampleStat moments.
+ * with underflow and overflow tail buckets; also tracks the
+ * SampleStat moments.  Regular bucket @p i covers the half-open range
+ * [i * width, (i + 1) * width).
  */
 class Histogram
 {
@@ -80,11 +82,15 @@ class Histogram
      */
     Histogram(double bucket_width, std::size_t bucket_count);
 
-    /** Add one sample (negative samples count into bucket 0). */
+    /** Add one sample (negative samples count into the underflow
+     *  tail, never into bucket 0). */
     void add(double x);
 
     /** Count in regular bucket @p i. */
     std::uint64_t bucket(std::size_t i) const { return counts.at(i); }
+
+    /** Count of samples below 0 (below the first regular bucket). */
+    std::uint64_t underflow() const { return underflowCount; }
 
     /** Count of samples beyond the last regular bucket. */
     std::uint64_t overflow() const { return overflowCount; }
@@ -94,11 +100,18 @@ class Histogram
 
     const SampleStat &moments() const { return sample; }
 
-    /** Fraction of samples at or below @p x (empirical CDF). */
+    /**
+     * Empirical CDF approximated from the buckets: the fraction of
+     * samples in the underflow tail plus every bucket whose lower
+     * edge lies below @p x (a partially covered bucket counts in
+     * full).  Exact for P(sample < x) whenever @p x is a bucket
+     * boundary; for @p x < 0 returns only the underflow fraction.
+     */
     double cdf(double x) const;
 
     /** Smallest bucket upper edge with CDF >= @p q (approximate
-     *  quantile; returns max edge if q is out of range). */
+     *  quantile; returns 0 when the quantile falls in the underflow
+     *  tail, and the max edge if q is out of range). */
     double quantile(double q) const;
 
     void reset();
@@ -106,6 +119,7 @@ class Histogram
   private:
     double width;
     std::vector<std::uint64_t> counts;
+    std::uint64_t underflowCount = 0;
     std::uint64_t overflowCount = 0;
     SampleStat sample;
 };

@@ -1,0 +1,38 @@
+#include "env.hh"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace gaas
+{
+
+std::optional<std::uint64_t>
+parseU64(std::string_view text)
+{
+    if (text.empty())
+        return std::nullopt;
+    std::uint64_t value = 0;
+    const char *begin = text.data();
+    const char *end = begin + text.size();
+    const auto res = std::from_chars(begin, end, value, 10);
+    if (res.ec != std::errc{} || res.ptr != end)
+        return std::nullopt;
+    return value;
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    if (const auto parsed = parseU64(value); parsed && *parsed > 0)
+        return *parsed;
+    warn("ignoring bad ", name, "=", value,
+         " (want a positive decimal integer)");
+    return fallback;
+}
+
+} // namespace gaas

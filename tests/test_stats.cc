@@ -71,17 +71,48 @@ TEST(SampleStat, MergeWithEmpty)
     EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
-TEST(Histogram, BucketsAndOverflow)
+TEST(SampleStat, MergeEmptyIntoEmpty)
+{
+    SampleStat a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(SampleStat, MergeSingleSamples)
+{
+    SampleStat lo, hi;
+    lo.add(2.0);
+    hi.add(4.0);
+    lo.merge(hi);
+    EXPECT_EQ(lo.count(), 2u);
+    EXPECT_DOUBLE_EQ(lo.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(lo.variance(), 1.0);
+    EXPECT_DOUBLE_EQ(lo.min(), 2.0);
+    EXPECT_DOUBLE_EQ(lo.max(), 4.0);
+}
+
+TEST(Histogram, BucketsAndBothTails)
 {
     Histogram h(1.0, 10);
     for (int i = 0; i < 5; ++i)
         h.add(static_cast<double>(i));
     h.add(100.0);
-    h.add(-1.0); // clamps into bucket 0
-    EXPECT_EQ(h.bucket(0), 2u);
+    h.add(-1.0); // counts into the underflow tail, not bucket 0
+    EXPECT_EQ(h.bucket(0), 1u);
     EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
     EXPECT_EQ(h.overflow(), 1u);
     EXPECT_EQ(h.moments().count(), 7u);
+    EXPECT_DOUBLE_EQ(h.moments().min(), -1.0);
+
+    h.reset();
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.moments().count(), 0u);
 }
 
 TEST(Histogram, CdfAndQuantile)
@@ -89,9 +120,36 @@ TEST(Histogram, CdfAndQuantile)
     Histogram h(1.0, 100);
     for (int i = 0; i < 100; ++i)
         h.add(static_cast<double>(i));
-    EXPECT_NEAR(h.cdf(49.0), 0.5, 0.011);
+    // Samples sit on bucket lower edges, so the CDF is exact at
+    // bucket boundaries: P(x < 49) is exactly 49/100.
+    EXPECT_DOUBLE_EQ(h.cdf(49.0), 0.49);
+    EXPECT_DOUBLE_EQ(h.cdf(49.5), 0.50);
+    EXPECT_DOUBLE_EQ(h.cdf(100.0), 1.0);
     EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
     EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, CdfCountsBothTailsExactly)
+{
+    Histogram h(1.0, 10);
+    for (double x : {-3.0, -0.5, 0.0, 9.0, 10.0, 100.0})
+        h.add(x);
+    EXPECT_EQ(h.underflow(), 2u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+
+    // Below zero only the underflow tail counts.
+    EXPECT_DOUBLE_EQ(h.cdf(-1.0), 2.0 / 6.0);
+    // x == 0 is a bucket boundary: bucket 0 is NOT below it.
+    EXPECT_DOUBLE_EQ(h.cdf(0.0), 2.0 / 6.0);
+    // The top boundary excludes the overflow tail ...
+    EXPECT_DOUBLE_EQ(h.cdf(10.0), 4.0 / 6.0);
+    // ... which only enters past the covered range.
+    EXPECT_DOUBLE_EQ(h.cdf(11.0), 1.0);
+
+    // A quantile that lands in the underflow tail pins to 0.
+    EXPECT_DOUBLE_EQ(h.quantile(0.1), 0.0);
 }
 
 TEST(Histogram, RejectsBadConfig)

@@ -200,5 +200,72 @@ TEST(Sweep, WorkerCountComesFromEnvironment)
     EXPECT_GE(sweepWorkers(), 1u);
 }
 
+TEST(Sweep, WorkerCountParsesStrictly)
+{
+    ::unsetenv("GAAS_BENCH_JOBS");
+    const unsigned fallback = sweepWorkers();
+
+    // A half-numeric value must be rejected whole, not read as its
+    // numeric prefix ("4x" silently becoming 4 workers is the bug
+    // this guards against).
+    for (const char *bad :
+         {"4x", "x4", "+4", "-4", " 4", "4 ", "0",
+          "18446744073709551616",  // overflows uint64
+          "4294967296"}) {         // valid uint64, overflows unsigned
+        ::setenv("GAAS_BENCH_JOBS", bad, 1);
+        EXPECT_EQ(sweepWorkers(), fallback) << '"' << bad << '"';
+    }
+
+    ::setenv("GAAS_BENCH_JOBS", "2", 1);
+    EXPECT_EQ(sweepWorkers(), 2u);
+    ::unsetenv("GAAS_BENCH_JOBS");
+}
+
+TEST(Sweep, PerJobTelemetryIsRecorded)
+{
+    const auto jobs = ladder();
+
+    SweepStats serial_stats;
+    runSweep(jobs, 1, &serial_stats);
+    ASSERT_EQ(serial_stats.perJob.size(), jobs.size());
+    for (const auto &js : serial_stats.perJob) {
+        EXPECT_EQ(js.worker, 0u);
+        EXPECT_DOUBLE_EQ(js.queueWaitSeconds, 0.0);
+        EXPECT_GE(js.buildSeconds, 0.0);
+        EXPECT_GE(js.simSeconds, 0.0);
+        // The phases are disjoint sub-intervals of the job total.
+        EXPECT_LE(js.buildSeconds + js.simSeconds,
+                  js.totalSeconds + 1e-9);
+    }
+
+    const unsigned workers = 3;
+    SweepStats pooled_stats;
+    runSweep(jobs, workers, &pooled_stats);
+    ASSERT_EQ(pooled_stats.perJob.size(), jobs.size());
+    for (const auto &js : pooled_stats.perJob) {
+        EXPECT_LT(js.worker, workers);
+        EXPECT_GE(js.queueWaitSeconds, 0.0);
+        EXPECT_LE(js.buildSeconds + js.simSeconds,
+                  js.totalSeconds + 1e-9);
+    }
+}
+
+TEST(Sweep, ProgressCallbackRunsInSubmissionOrder)
+{
+    const auto jobs = ladder();
+    std::vector<std::string> seen;
+    const auto results = runSweep(
+        jobs, 4, nullptr,
+        [&seen](std::size_t index, const SimResult &result,
+                const SweepJobStats &) {
+            EXPECT_EQ(index, seen.size());
+            seen.push_back(result.configName);
+        });
+    ASSERT_EQ(seen.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(seen[i], jobs[i].config.name);
+    ASSERT_EQ(results.size(), jobs.size());
+}
+
 } // namespace
 } // namespace gaas::core

@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <set>
 
 #include "util/bitops.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/types.hh"
@@ -244,6 +247,42 @@ TEST(FractionAccumulator, DeterministicSequence)
     FractionAccumulator a(0.5), b(0.5);
     for (int i = 0; i < 1000; ++i)
         EXPECT_EQ(a.tick(), b.tick());
+}
+
+TEST(Env, ParseU64AcceptsOnlyWholeDecimals)
+{
+    EXPECT_EQ(parseU64("0"), std::optional<std::uint64_t>{0});
+    EXPECT_EQ(parseU64("42"), std::optional<std::uint64_t>{42});
+    EXPECT_EQ(parseU64("18446744073709551615"),
+              std::optional<std::uint64_t>{
+                  std::numeric_limits<std::uint64_t>::max()});
+
+    EXPECT_FALSE(parseU64(""));
+    EXPECT_FALSE(parseU64("4x"));
+    EXPECT_FALSE(parseU64("x4"));
+    EXPECT_FALSE(parseU64("+4"));
+    EXPECT_FALSE(parseU64("-4"));
+    EXPECT_FALSE(parseU64(" 4"));
+    EXPECT_FALSE(parseU64("4 "));
+    EXPECT_FALSE(parseU64("0x10"));
+    EXPECT_FALSE(parseU64("1e6"));
+    EXPECT_FALSE(parseU64("18446744073709551616")); // overflow
+}
+
+TEST(Env, EnvU64FallsBackOnBadValues)
+{
+    const char *name = "GAAS_TEST_ENV_U64";
+    ::unsetenv(name);
+    EXPECT_EQ(envU64(name, 17), 17u);
+    ::setenv(name, "", 1);
+    EXPECT_EQ(envU64(name, 17), 17u);
+    ::setenv(name, "23", 1);
+    EXPECT_EQ(envU64(name, 17), 23u);
+    ::setenv(name, "23x", 1);
+    EXPECT_EQ(envU64(name, 17), 17u);
+    ::setenv(name, "0", 1); // zero is rejected: knobs are positive
+    EXPECT_EQ(envU64(name, 17), 17u);
+    ::unsetenv(name);
 }
 
 } // namespace

@@ -10,6 +10,7 @@
  *   gaassim [--preset NAME | --config FILE]
  *           [--trace FILE]... [--instructions N] [--warmup N]
  *           [--mp N] [--slice CYCLES] [--stats FILE]
+ *           [--stats-json FILE]
  *
  * Presets: base, write-only, split-l2, fetch-8w, concurrent,
  *          load-bypass, optimized, exchanged.
@@ -69,7 +70,7 @@ usage()
         << "usage: gaassim [--preset NAME | --config FILE]\n"
            "               [--trace FILE]... [--instructions N]\n"
            "               [--warmup N] [--mp N] [--slice CYCLES]\n"
-           "               [--stats FILE]\n";
+           "               [--stats FILE] [--stats-json FILE]\n";
     std::exit(1);
 }
 
@@ -84,6 +85,7 @@ main(int argc, char **argv)
     Count warmup = ~Count{0}; // default: half the budget
     unsigned mp = 8;
     std::string stats_path;
+    std::string stats_json_path;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -112,6 +114,8 @@ main(int argc, char **argv)
                     std::strtoull(next().c_str(), nullptr, 10);
             } else if (arg == "--stats") {
                 stats_path = next();
+            } else if (arg == "--stats-json") {
+                stats_json_path = next();
             } else {
                 std::cerr << "unknown option " << arg << '\n';
                 usage();
@@ -137,10 +141,15 @@ main(int argc, char **argv)
         const auto res = sim.run(instructions, warmup);
         std::cout << res.formatBreakdown();
 
+        if (!stats_json_path.empty()) {
+            if (core::dumpStatsJsonFile(res, stats_json_path))
+                std::cout << "[stats-json: " << stats_json_path
+                          << "]\n";
+        }
         if (!stats_path.empty()) {
             if (core::dumpStatsFile(res, stats_path))
                 std::cout << "[stats: " << stats_path << "]\n";
-        } else {
+        } else if (stats_json_path.empty()) {
             std::cout << '\n';
             core::dumpStats(res, std::cout);
         }

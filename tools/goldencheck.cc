@@ -13,7 +13,7 @@
  *
  * Usage:
  *   goldencheck [--golden-dir DIR] [--only NAME]... [--list]
- *               [--bless]
+ *               [--bless] [--json-roundtrip]
  *
  *   --golden-dir DIR  where the .stats files live
  *                     (default: tests/golden)
@@ -22,6 +22,10 @@
  *   --bless           regenerate the golden files from the current
  *                     build instead of checking (review the diff
  *                     before committing!)
+ *   --json-roundtrip  instead of the flat-dump diff, dump each
+ *                     selected point as JSON, parse it back, re-emit
+ *                     it and byte-compare -- locks the JSON schema
+ *                     and the parser/writer pair together
  *
  * Exit status: 0 all points match, 1 any mismatch/missing golden,
  * 2 usage error.
@@ -36,6 +40,7 @@
 #include "core/config.hh"
 #include "core/simulator.hh"
 #include "core/stats_dump.hh"
+#include "obs/json.hh"
 #include "util/logging.hh"
 
 namespace
@@ -128,16 +133,56 @@ goldenPoints()
     return points;
 }
 
+void reportDiff(const std::string &name, const std::string &expected,
+                const std::string &actual);
+
+/** Run @p point and return its result. */
+core::SimResult
+runPointResult(const GoldenPoint &point)
+{
+    return core::runStandard(point.config, point.instructions,
+                             point.mpLevel, point.warmup);
+}
+
 /** Run @p point and render its stats dump to a string. */
 std::string
 runPoint(const GoldenPoint &point)
 {
-    const auto result =
-        core::runStandard(point.config, point.instructions,
-                          point.mpLevel, point.warmup);
     std::ostringstream os;
-    core::dumpStats(result, os);
+    core::dumpStats(runPointResult(point), os);
     return os.str();
+}
+
+/**
+ * JSON schema lock: emit @p point as JSON, parse it back, re-emit,
+ * and require the two byte streams to be identical.  Any emitter
+ * construct the parser cannot reproduce (or vice versa) fails here
+ * long before an external consumer sees it.
+ */
+bool
+checkJsonRoundtrip(const GoldenPoint &point)
+{
+    std::ostringstream os;
+    core::dumpStatsJson(runPointResult(point), os);
+    const std::string emitted = os.str();
+
+    std::string reemitted;
+    try {
+        reemitted = obs::writeJsonString(obs::parseJson(emitted));
+    } catch (const FatalError &err) {
+        std::cerr << "FAIL " << point.name
+                  << ": emitted JSON does not parse: " << err.what()
+                  << '\n';
+        return false;
+    }
+    if (reemitted != emitted) {
+        std::cerr << "FAIL " << point.name
+                  << ": JSON round-trip is not byte-identical\n";
+        reportDiff(point.name, emitted, reemitted);
+        return false;
+    }
+    std::cout << "ok   " << point.name << " (json round-trip)\n";
+    return true;
 }
 
 /** @return the whole of @p path, or nullopt-ish empty + ok=false. */
@@ -188,7 +233,8 @@ reportDiff(const std::string &name, const std::string &expected,
 usage()
 {
     std::cerr << "usage: goldencheck [--golden-dir DIR] "
-                 "[--only NAME]... [--list] [--bless]\n";
+                 "[--only NAME]... [--list] [--bless] "
+                 "[--json-roundtrip]\n";
     std::exit(2);
 }
 
@@ -201,6 +247,7 @@ main(int argc, char **argv)
     std::vector<std::string> only;
     bool bless = false;
     bool list = false;
+    bool json_roundtrip = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -217,6 +264,8 @@ main(int argc, char **argv)
             bless = true;
         } else if (arg == "--list") {
             list = true;
+        } else if (arg == "--json-roundtrip") {
+            json_roundtrip = true;
         } else {
             std::cerr << "unknown option " << arg << '\n';
             usage();
@@ -248,6 +297,22 @@ main(int argc, char **argv)
                 }
             }
             points = std::move(picked);
+        }
+
+        if (json_roundtrip) {
+            unsigned rt_failures = 0;
+            for (const auto &point : points) {
+                if (!checkJsonRoundtrip(point))
+                    ++rt_failures;
+            }
+            if (rt_failures) {
+                std::cerr << rt_failures << " of " << points.size()
+                          << " JSON round-trip(s) diverged\n";
+                return 1;
+            }
+            std::cout << "all " << points.size()
+                      << " JSON round-trips byte-exact\n";
+            return 0;
         }
 
         unsigned failures = 0;
