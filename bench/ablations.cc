@@ -42,11 +42,13 @@ main(int argc, char **argv)
         const auto results = sweep.run();
         std::size_t job = 0;
         for (unsigned depth : depths) {
-            const auto &res = results[job++];
+            const auto &out = results[job++];
+            const auto &res = out.result;
             t.newRow()
                 .cell(static_cast<std::uint64_t>(depth))
-                .cell(res.cpi(), 4)
-                .cell(res.perInstruction(res.comp.wbWait), 4)
+                .cell(bench::cell(out, res.cpi(), 4))
+                .cell(bench::cell(
+                    out, res.perInstruction(res.comp.wbWait), 4))
                 .cell(res.sys.wb.fullStalls);
         }
         bench::emit(t, "ablation_wb_depth");
@@ -66,11 +68,13 @@ main(int argc, char **argv)
         const auto results = sweep.run();
         std::size_t job = 0;
         for (Cycles overlap : overlaps) {
-            const auto &res = results[job++];
+            const auto &out = results[job++];
+            const auto &res = out.result;
             t.newRow()
                 .cell(static_cast<std::uint64_t>(overlap))
-                .cell(res.cpi(), 4)
-                .cell(res.perInstruction(res.comp.wbWait), 4);
+                .cell(bench::cell(out, res.cpi(), 4))
+                .cell(bench::cell(
+                    out, res.perInstruction(res.comp.wbWait), 4));
         }
         bench::emit(t, "ablation_drain_overlap");
     }
@@ -89,15 +93,19 @@ main(int argc, char **argv)
         const auto results = sweep.run();
         std::size_t job = 0;
         for (bool coloring : colorings) {
-            const auto &res = results[job++];
+            const auto &out = results[job++];
+            const auto &res = out.result;
+            const double miss_per_instr =
+                res.instructions > 0
+                    ? static_cast<double>(res.sys.l1dReadMisses +
+                                          res.sys.l1dWriteMisses) /
+                          static_cast<double>(res.instructions)
+                    : 0.0;
             t.newRow()
                 .cell(coloring ? "page colouring" : "random")
-                .cell(res.cpi(), 4)
-                .cell(static_cast<double>(res.sys.l1dReadMisses +
-                                          res.sys.l1dWriteMisses) /
-                          static_cast<double>(res.instructions),
-                      4)
-                .cell(res.sys.l2MissRatio(), 4);
+                .cell(bench::cell(out, res.cpi(), 4))
+                .cell(bench::cell(out, miss_per_instr, 4))
+                .cell(bench::cell(out, res.sys.l2MissRatio(), 4));
         }
         bench::emit(t, "ablation_page_coloring");
     }
@@ -116,12 +124,13 @@ main(int argc, char **argv)
         const auto results = sweep.run();
         std::size_t job = 0;
         for (Cycles penalty : penalties) {
-            const auto &res = results[job++];
+            const auto &out = results[job++];
+            const auto &res = out.result;
             t.newRow()
                 .cell(static_cast<std::uint64_t>(penalty))
-                .cell(res.cpi(), 4)
-                .cell(res.sys.itlb.missRatio(), 5)
-                .cell(res.sys.dtlb.missRatio(), 5);
+                .cell(bench::cell(out, res.cpi(), 4))
+                .cell(bench::cell(out, res.sys.itlb.missRatio(), 5))
+                .cell(bench::cell(out, res.sys.dtlb.missRatio(), 5));
         }
         bench::emit(t, "ablation_tlb_penalty");
     }
@@ -161,7 +170,8 @@ main(int argc, char **argv)
                     .cell(core::writePolicyName(policy));
                 for (Cycles access : accessTimes) {
                     (void)access;
-                    t.cell(results[job++].cpi(), 4);
+                    const auto &out = results[job++];
+                    t.cell(bench::cell(out, out.result.cpi(), 4));
                 }
             }
         }
@@ -169,5 +179,5 @@ main(int argc, char **argv)
     }
 
     std::cout << "done\n";
-    return 0;
+    return bench::exitCode();
 }

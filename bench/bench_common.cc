@@ -2,12 +2,17 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <filesystem>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 
+#include "core/journal.hh"
 #include "core/stats_dump.hh"
+#include "obs/json.hh"
 #include "util/env.hh"
+#include "util/fault.hh"
+#include "util/file_io.hh"
 #include "util/logging.hh"
 
 namespace gaas::bench
@@ -21,12 +26,20 @@ struct Options
 {
     bool progress = false;
     std::string statsJsonDir;
+    std::string resumeDir;
+
+    /** statsJsonDir failed its init() probe: dumps are off and Ok
+     *  points are downgraded to Degraded. */
+    bool statsDirBroken = false;
 };
 
 Options options;
 
 /** Finished points so far, process-wide (JSON filename prefix). */
 std::size_t pointCounter = 0;
+
+/** Failed points so far, process-wide (drives exitCode()). */
+std::size_t failedPoints = 0;
 
 std::string
 csvDir()
@@ -39,9 +52,12 @@ csvDir()
 usage(const char *prog, int exit_code)
 {
     (exit_code == 0 ? std::cout : std::cerr)
-        << "usage: " << prog << " [--progress] [--stats-json DIR]\n"
+        << "usage: " << prog
+        << " [--progress] [--stats-json DIR] [--resume DIR]\n"
         << "  --progress        stderr line per finished point\n"
-        << "  --stats-json DIR  one JSON stats dump per point\n";
+        << "  --stats-json DIR  one JSON stats dump per point\n"
+        << "  --resume DIR      journal points into DIR and skip\n"
+        << "                    points an earlier run completed\n";
     std::exit(exit_code);
 }
 
@@ -56,6 +72,42 @@ sanitizeName(const std::string &name)
             c = '-';
     }
     return out.empty() ? std::string("unnamed") : out;
+}
+
+/** First line of a (possibly multi-line) gaas_error message. */
+std::string
+firstLine(const std::string &text)
+{
+    const std::size_t nl = text.find('\n');
+    return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+/**
+ * Create-if-missing + probe-write the stats dump directory, once,
+ * so a sweep never sprays one stderr line per point at a dead
+ * filesystem.  Emits the single structured warning on failure.
+ */
+void
+validateStatsDir()
+{
+    const std::string dir = statsJsonDir();
+    if (dir.empty())
+        return;
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string error;
+    if (ec) {
+        error = "cannot create " + dir + " (" + ec.message() + ")";
+    } else if (!util::writeFileAtomic(dir + "/.probe", "", &error)) {
+        // error already set by the probe write
+    } else {
+        std::remove((dir + "/.probe").c_str());
+        return;
+    }
+    options.statsDirBroken = true;
+    warn("stats dumps disabled [stats-io]: ", error,
+         "; simulation continues, points will be marked degraded");
 }
 
 } // namespace
@@ -77,12 +129,20 @@ init(int argc, char **argv)
                 usage(prog, 2);
             }
             options.statsJsonDir = argv[++i];
+        } else if (arg == "--resume") {
+            if (i + 1 >= argc) {
+                std::cerr << prog << ": --resume needs a "
+                          << "directory argument\n";
+                usage(prog, 2);
+            }
+            options.resumeDir = argv[++i];
         } else {
             std::cerr << prog << ": unknown argument '" << arg
                       << "'\n";
             usage(prog, 2);
         }
     }
+    validateStatsDir();
 }
 
 bool
@@ -103,22 +163,83 @@ statsJsonDir()
     return env && *env ? env : "";
 }
 
-void
-notePoint(const core::SimResult &result,
-          const core::SweepJobStats &stats)
+std::string
+resumeDir()
 {
+    if (!options.resumeDir.empty())
+        return options.resumeDir;
+    const char *env = std::getenv("GAAS_BENCH_RESUME");
+    return env && *env ? env : "";
+}
+
+Cycles
+watchdogBudget()
+{
+    return envU64("GAAS_BENCH_WATCHDOG", 0);
+}
+
+int
+exitCode()
+{
+    return failedPoints > 0 ? 1 : 0;
+}
+
+void
+notePoint(core::SweepOutcome &outcome)
+{
+    // Test hook: simulate SIGKILL mid-sweep (no destructors, no
+    // flushes) to prove the journal's per-record durability.
+    if (fault::shouldFail("bench-kill"))
+        std::_Exit(9);
+
     const std::size_t point = pointCounter++;
+    const core::SimResult &result = outcome.result;
+
+    if (outcome.status == core::PointStatus::Failed) {
+        ++failedPoints;
+        warn("point ", point, " (", result.configName, ") failed [",
+             errorCodeName(outcome.errorCode),
+             "]: ", firstLine(outcome.error));
+        const std::string dir = statsJsonDir();
+        if (!dir.empty() && !options.statsDirBroken) {
+            obs::JsonValue doc = obs::JsonValue::object();
+            doc.members.emplace_back(
+                "config", obs::JsonValue::string(result.configName));
+            doc.members.emplace_back(
+                "status", obs::JsonValue::string("failed"));
+            doc.members.emplace_back(
+                "code", obs::JsonValue::string(
+                            errorCodeName(outcome.errorCode)));
+            doc.members.emplace_back(
+                "error", obs::JsonValue::string(outcome.error));
+            std::ostringstream name;
+            name << std::setw(3) << std::setfill('0') << point << '-'
+                 << sanitizeName(result.configName) << ".failed.json";
+            std::string error;
+            if (!util::writeFileAtomicRetry(
+                    dir + "/" + name.str(), obs::writeJsonString(doc),
+                    &error))
+                warn("failure record: ", error);
+        }
+        return;
+    }
 
     if (progressEnabled()) {
         std::ostringstream line;
         line << "[point " << std::setw(3) << std::setfill('0')
              << point << std::setfill(' ') << ' '
              << result.configName << ": cpi " << std::fixed
-             << std::setprecision(4) << result.cpi() << ", sim "
-             << std::setprecision(2) << stats.simSeconds
-             << " s, build " << stats.buildSeconds << " s, queue "
-             << stats.queueWaitSeconds << " s, worker "
-             << stats.worker << "]\n";
+             << std::setprecision(4) << result.cpi();
+        if (outcome.reused) {
+            line << ", reused from journal";
+        } else {
+            line << ", sim " << std::setprecision(2)
+                 << outcome.stats.simSeconds << " s, build "
+                 << outcome.stats.buildSeconds << " s, queue "
+                 << outcome.stats.queueWaitSeconds << " s, worker "
+                 << outcome.stats.worker;
+        }
+        line << "]\n";
         std::cerr << line.str();
     }
 
@@ -127,8 +248,24 @@ notePoint(const core::SimResult &result,
         std::ostringstream name;
         name << std::setw(3) << std::setfill('0') << point << '-'
              << sanitizeName(result.configName) << ".json";
-        core::dumpStatsJsonFile(result, dir + "/" + name.str());
+        const bool written =
+            !options.statsDirBroken &&
+            core::dumpStatsJsonFile(result, dir + "/" + name.str());
+        if (!written && outcome.status == core::PointStatus::Ok)
+            outcome.status = core::PointStatus::Degraded;
     }
+}
+
+std::string
+cell(const core::SweepOutcome &outcome, double value, int precision)
+{
+    if (outcome.status == core::PointStatus::Failed) {
+        return std::string("failed:") +
+               errorCodeName(outcome.errorCode);
+    }
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
 }
 
 Count
@@ -155,27 +292,47 @@ warmupBudget()
     return envU64("GAAS_BENCH_WARMUP", instructionBudget() / 2);
 }
 
+namespace
+{
+
+/**
+ * The immediate-run path shares the sweep engine's fault isolation:
+ * one job, serially, failure noted instead of thrown.  A failed run
+ * returns the zeroed result (every derived ratio guards division by
+ * zero) so the figure can finish its other points.
+ */
+core::SimResult
+runOne(core::SweepJob job)
+{
+    job.watchdogCycles = watchdogBudget();
+    std::vector<core::SweepOutcome> outcomes =
+        core::runSweepOutcomes({std::move(job)}, 1);
+    notePoint(outcomes.front());
+    return std::move(outcomes.front().result);
+}
+
+} // namespace
+
 core::SimResult
 run(const core::SystemConfig &config, unsigned mp_level)
 {
-    const core::SweepJob job{config, mp_level, instructionBudget(),
-                             warmupBudget(), {}};
-    core::SweepJobStats stats;
-    core::SimResult result = core::runSweepJob(job, &stats);
-    notePoint(result, stats);
-    return result;
+    core::SweepJob job;
+    job.config = config;
+    job.mpLevel = mp_level;
+    job.instructions = instructionBudget();
+    job.warmup = warmupBudget();
+    return runOne(std::move(job));
 }
 
 core::SimResult
 runScaled(const core::SystemConfig &config, unsigned factor)
 {
-    const core::SweepJob job{config, mpLevel(),
-                             instructionBudget() * factor,
-                             warmupBudget() * factor, {}};
-    core::SweepJobStats stats;
-    core::SimResult result = core::runSweepJob(job, &stats);
-    notePoint(result, stats);
-    return result;
+    core::SweepJob job;
+    job.config = config;
+    job.mpLevel = mpLevel();
+    job.instructions = instructionBudget() * factor;
+    job.warmup = warmupBudget() * factor;
+    return runOne(std::move(job));
 }
 
 std::size_t
@@ -187,39 +344,69 @@ Sweep::add(const core::SystemConfig &config)
 std::size_t
 Sweep::add(const core::SystemConfig &config, unsigned mp_level)
 {
-    jobs.push_back(core::SweepJob{config, mp_level,
-                                  instructionBudget(),
-                                  warmupBudget(), {}});
+    core::SweepJob job;
+    job.config = config;
+    job.mpLevel = mp_level;
+    job.instructions = instructionBudget();
+    job.warmup = warmupBudget();
+    job.watchdogCycles = watchdogBudget();
+    jobs.push_back(std::move(job));
     return jobs.size() - 1;
 }
 
 std::size_t
 Sweep::addScaled(const core::SystemConfig &config, unsigned factor)
 {
-    jobs.push_back(core::SweepJob{config, mpLevel(),
-                                  instructionBudget() * factor,
-                                  warmupBudget() * factor, {}});
+    core::SweepJob job;
+    job.config = config;
+    job.mpLevel = mpLevel();
+    job.instructions = instructionBudget() * factor;
+    job.warmup = warmupBudget() * factor;
+    job.watchdogCycles = watchdogBudget();
+    jobs.push_back(std::move(job));
     return jobs.size() - 1;
 }
 
-std::vector<core::SimResult>
+std::vector<core::SweepOutcome>
 Sweep::run()
 {
+    core::RunJournal journal;
+    core::RunJournal *journal_ptr = nullptr;
+    const std::string dir = resumeDir();
+    if (!dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        std::string error;
+        if (journal.open(dir + "/sweep_journal.jsonl", &error)) {
+            journal_ptr = &journal;
+            if (journal.loadedRecords() > 0) {
+                std::cout << "[resume: " << journal.loadedRecords()
+                          << " journaled point(s) in " << dir
+                          << "]\n";
+            }
+        } else {
+            warn("resume disabled [stats-io]: ", error);
+        }
+    }
+
     core::SweepStats stats;
-    auto results = core::runSweep(
+    auto outcomes = core::runSweepOutcomes(
         jobs, 0, &stats,
-        [](std::size_t, const core::SimResult &result,
-           const core::SweepJobStats &job_stats) {
-            notePoint(result, job_stats);
-        });
+        [](std::size_t, core::SweepOutcome &outcome) {
+            notePoint(outcome);
+        },
+        journal_ptr);
     jobs.clear();
     std::cout << "[sweep: " << stats.jobs << " configs on "
               << stats.workers << " worker(s), " << std::fixed
               << std::setprecision(2) << stats.wallSeconds
               << " s wall, " << std::setprecision(0)
-              << stats.refsPerSecond() << " refs/s aggregate]\n"
+              << stats.refsPerSecond() << " refs/s aggregate; "
+              << stats.okPoints << " ok, " << stats.failedPoints
+              << " failed, " << stats.degradedPoints
+              << " degraded, " << stats.reusedPoints << " reused]\n"
               << std::defaultfloat << '\n';
-    return results;
+    return outcomes;
 }
 
 void

@@ -19,9 +19,20 @@
  *   GAAS_BENCH_STATS_DIR     write one JSON stats dump per point
  *                            into this directory (same as
  *                            --stats-json DIR)
+ *   GAAS_BENCH_RESUME        journal sweep points into this
+ *                            directory and skip points already
+ *                            journaled by an earlier (killed) run
+ *                            (same as --resume DIR)
+ *   GAAS_BENCH_WATCHDOG      per-instruction cycle budget for the
+ *                            zero-progress watchdog (default 0: off)
  *
  * All numeric knobs parse strictly (util/env.hh): trailing garbage,
  * signs, zero and overflow are rejected with a warning.
+ *
+ * Failure model: a sweep point that throws becomes a Failed
+ * SweepOutcome; the figure keeps running, renders the point as
+ * `failed:<code>` (see cell()), and main() reports it through
+ * exitCode() -- nonzero only after the whole ladder drained.
  */
 
 #ifndef GAAS_BENCH_COMMON_HH
@@ -45,10 +56,18 @@ namespace gaas::bench
  *
  *   --progress         stderr line per finished point
  *   --stats-json DIR   one JSON stats dump per point into DIR
+ *   --resume DIR       journal points into DIR; skip points already
+ *                      journaled by an earlier (killed) run
  *   --help             print usage and exit 0
  *
  * Anything else prints usage to stderr and exits 2.  Call first in
  * every figure main().
+ *
+ * The stats-dump directory is validated here, once: created if
+ * missing and probe-written.  If it is unusable a single structured
+ * warning is emitted, dumps are disabled, and every subsequent Ok
+ * point is downgraded to Degraded -- the simulation itself never
+ * stops over an unwritable stats directory.
  */
 void init(int argc, char **argv);
 
@@ -59,15 +78,41 @@ bool progressEnabled();
  *  empty when per-point dumps are disabled. */
 std::string statsJsonDir();
 
+/** Resume/journal directory (--resume / GAAS_BENCH_RESUME);
+ *  empty when checkpointing is disabled. */
+std::string resumeDir();
+
+/** Watchdog budget for every enqueued job (GAAS_BENCH_WATCHDOG). */
+Cycles watchdogBudget();
+
+/**
+ * Process exit status for main(): 1 if any point Failed (or a fatal
+ * setup error was noted), else 0.  Reading it does not reset it.
+ */
+int exitCode();
+
 /**
  * Record one finished simulation point: bumps the process-wide point
- * counter, emits the stderr progress line when enabled, and writes
+ * counter, warns (with the stable error code) if the point Failed,
+ * emits the stderr progress line when enabled, and writes
  * `<statsJsonDir()>/NNN-<config>.json` when a dump directory is
  * configured.  The counter makes filenames collision-free even when
  * a figure runs the same configuration at several workload levels.
+ *
+ * Mutates @p outcome: an Ok point whose stats dump could not be
+ * written is downgraded to Degraded (so the sweep journals the
+ * loss), and failed points feed exitCode().
  */
-void notePoint(const core::SimResult &result,
-               const core::SweepJobStats &stats);
+void notePoint(core::SweepOutcome &outcome);
+
+/**
+ * Table-cell text for one sweep point: @p value formatted at
+ * @p precision for Ok/Degraded points, `failed:<code>` for Failed
+ * ones -- the explicit row every figure CSV emits instead of
+ * silently dropping a dead point.
+ */
+std::string cell(const core::SweepOutcome &outcome, double value,
+                 int precision = 4);
 
 /** Per-configuration instruction budget. */
 Count instructionBudget();
@@ -126,13 +171,17 @@ class Sweep
 
     /**
      * Run every enqueued job across GAAS_BENCH_JOBS workers, print a
-     * one-line wall-clock/throughput summary, and return the results
-     * in enqueue order.  Every finished point flows through
-     * notePoint() (in enqueue order, on this thread).  The queue is
-     * cleared so the Sweep can be reused (the ablations binary runs
-     * one sweep per table).
+     * one-line wall-clock/throughput summary (with ok/failed/
+     * degraded/reused disposition counts), and return the outcomes
+     * in enqueue order.  A throwing job becomes a Failed outcome;
+     * the other points still run.  When resumeDir() is set, points
+     * are journaled as they finish and points already journaled by
+     * an earlier run are reused without simulating.  Every finished
+     * point flows through notePoint() (in enqueue order, on this
+     * thread).  The queue is cleared so the Sweep can be reused (the
+     * ablations binary runs one sweep per table).
      */
-    std::vector<core::SimResult> run();
+    std::vector<core::SweepOutcome> run();
 
   private:
     std::vector<core::SweepJob> jobs;

@@ -57,11 +57,13 @@ main(int argc, char **argv)
     int col = 0;
     double prev = 0;
     for (const auto &cfg : steps) {
-        const auto &res = results[static_cast<std::size_t>(col)];
+        const auto &out = results[static_cast<std::size_t>(col)];
+        const auto &res = out.result;
         t.newRow()
             .cell(cfg.name)
-            .cell(res.cpi(), 4)
-            .cell(col == 0 ? 0.0 : prev - res.cpi(), 4);
+            .cell(bench::cell(out, res.cpi(), 4))
+            .cell(bench::cell(out, col == 0 ? 0.0 : prev - res.cpi(),
+                              4));
         switch (col) {
           case 0: cpi_base = res.cpi(); break;
           case 1: cpi_irefill = res.cpi(); break;
@@ -90,5 +92,5 @@ main(int argc, char **argv)
               << " CPI (paper: 0.008)\n"
               << "total concurrency gain: " << cpi_base - cpi_full
               << " CPI (paper: 0.027)\n";
-    return 0;
+    return bench::exitCode();
 }

@@ -60,5 +60,5 @@ main(int argc, char **argv)
               << "total improvement:         "
               << 100.0 * (1.0 - opt.cpi() / base.cpi())
               << "% (paper: 13.7%)\n";
-    return 0;
+    return bench::exitCode();
 }

@@ -65,5 +65,5 @@ main(int argc, char **argv)
                       ? 100.0 * (l2_last - l2_first) / l2_first
                       : 0.0)
               << "%  (paper: ~70%, of a very small number)\n";
-    return 0;
+    return bench::exitCode();
 }

@@ -64,5 +64,5 @@ main(int argc, char **argv)
     std::cout << "expected: CPI falls as the slice grows (line reuse); "
                  "at 500k cycles the average interval including "
                  "syscall switches is ~310k cycles\n";
-    return 0;
+    return bench::exitCode();
 }

@@ -47,5 +47,5 @@ main(int argc, char **argv)
               << "writes share of memory loss: "
               << 100.0 * writes / res.memCpi()
               << "%  (paper: 24%)\n";
-    return 0;
+    return bench::exitCode();
 }

@@ -59,8 +59,9 @@ main(int argc, char **argv)
         t.newRow().cell(static_cast<std::uint64_t>(access));
         double cpi_wb = 0, cpi_wo = 0;
         for (const auto policy : policies) {
-            const auto &res = results[job++];
-            t.cell(res.cpi(), 4);
+            const auto &out = results[job++];
+            const auto &res = out.result;
+            t.cell(bench::cell(out, res.cpi(), 4));
             if (policy == core::WritePolicy::WriteBack)
                 cpi_wb = res.cpi();
             if (policy == core::WritePolicy::WriteOnly)
@@ -108,5 +109,5 @@ main(int argc, char **argv)
                      "write-miss-invalidate at 6 cycles (paper: "
                      ">80%)\n";
     }
-    return 0;
+    return bench::exitCode();
 }

@@ -73,9 +73,10 @@ main(int argc, char **argv)
         cpi.newRow().cell(label);
         mr.newRow().cell(label);
         for (const auto &org : orgs) {
-            const auto &res = results[job++];
-            cpi.cell(res.cpi(), 4);
-            mr.cell(res.sys.l2MissRatio(), 4);
+            const auto &out = results[job++];
+            const auto &res = out.result;
+            cpi.cell(bench::cell(out, res.cpi(), 4));
+            mr.cell(bench::cell(out, res.sys.l2MissRatio(), 4));
 
             if (size == 64 * 1024 && org.assoc == 1) {
                 (org.org == core::L2Org::Unified ? uni_cpi_64
@@ -104,5 +105,5 @@ main(int argc, char **argv)
               << uni_cpi_1024 - split_cpi_1024 << " CPI; miss ratios "
               << uni_mr_1024 << " vs " << split_mr_1024
               << " (paper: 0.0102 vs 0.0042)\n";
-    return 0;
+    return bench::exitCode();
 }

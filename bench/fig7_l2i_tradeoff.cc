@@ -48,10 +48,11 @@ main(int argc, char **argv)
          size *= 2) {
         t.newRow().cell(std::to_string(size / 1024) + "K");
         for (unsigned at = 1; at <= 9; ++at) {
-            const auto &res = results[job++];
+            const auto &out = results[job++];
+            const auto &res = out.result;
             const double contrib = res.perInstruction(
                 res.comp.l1iMiss + res.comp.l2iMiss);
-            t.cell(contrib, 4);
+            t.cell(bench::cell(out, contrib, 4));
             if (size == 32 * 1024 && at == 2)
                 best_small_fast = contrib;
             if (size == 512 * 1024 && at == 6)
@@ -63,5 +64,5 @@ main(int argc, char **argv)
     std::cout << "32KW @2 cycles: " << best_small_fast
               << " CPI vs 512KW @6 cycles: " << best_large_slow
               << " (paper: the small fast L2-I on the MCM wins)\n";
-    return 0;
+    return bench::exitCode();
 }

@@ -49,10 +49,11 @@ main(int argc, char **argv)
          size *= 2) {
         t.newRow().cell(std::to_string(size / 1024) + "K");
         for (unsigned at = 1; at <= 9; ++at) {
-            const auto &res = results[job++];
+            const auto &out = results[job++];
+            const auto &res = out.result;
             const double contrib = res.perInstruction(
                 res.comp.l1dMiss + res.comp.l2dMiss);
-            t.cell(contrib, 4);
+            t.cell(bench::cell(out, contrib, 4));
             if (at == 6)
                 at6_curve.push_back(contrib);
         }
@@ -67,5 +68,5 @@ main(int argc, char **argv)
                   << " (paper: still decreasing at 512KW; the "
                      "optimum L2-D is ~8x the optimum L2-I)\n";
     }
-    return 0;
+    return bench::exitCode();
 }

@@ -46,17 +46,20 @@ main(int argc, char **argv)
     double cpi_col2 = 0, cpi_col3 = 0;
     int col = 0;
     for (const auto &cfg : steps) {
-        const auto &res = results[static_cast<std::size_t>(col)];
+        const auto &out = results[static_cast<std::size_t>(col)];
+        const auto &res = out.result;
         const double mem = res.memCpi();
         t.newRow()
             .cell(cfg.name)
-            .cell(res.cpi(), 4)
-            .cell(mem, 4)
-            .cell(col == 0 || col == 3
-                      ? 0.0
-                      : (mem_prev > 0 ? 100.0 * (1.0 - mem / mem_prev)
-                                      : 0.0),
-                  1);
+            .cell(bench::cell(out, res.cpi(), 4))
+            .cell(bench::cell(out, mem, 4))
+            .cell(bench::cell(
+                out,
+                col == 0 || col == 3
+                    ? 0.0
+                    : (mem_prev > 0 ? 100.0 * (1.0 - mem / mem_prev)
+                                    : 0.0),
+                1));
         switch (col) {
           case 0:
             mem_col1 = mem;
@@ -88,5 +91,5 @@ main(int argc, char **argv)
                                : 0.0)
               << "% memory CPI (paper: +21% -> L2-I goes on the "
                  "MCM)\n";
-    return 0;
+    return bench::exitCode();
 }

@@ -64,14 +64,19 @@ main(int argc, char **argv)
     double base_cpi = 0;
     std::size_t job = 0;
     for (const auto &v : variants) {
-        const auto &res = results[job++];
+        const auto &out = results[job++];
+        const auto &res = out.result;
         if (base_cpi == 0)
             base_cpi = res.cpi();
         t.newRow()
             .cell(v.name)
-            .cell(res.cpi(), 4)
+            .cell(bench::cell(out, res.cpi(), 4))
             .cell(v.cycleFactor, 2)
-            .cell(res.cpi() * v.cycleFactor / base_cpi, 4);
+            .cell(bench::cell(out,
+                              base_cpi > 0 ? res.cpi() * v.cycleFactor /
+                                                 base_cpi
+                                           : 0.0,
+                              4));
     }
     bench::emit(t, "sec5_l1_size");
 
@@ -79,5 +84,5 @@ main(int argc, char **argv)
                  "exceeds 1.0 -- the CPI gain never pays for the "
                  "cycle-time loss, so the L1s stay at 4KW direct "
                  "mapped (paper Sec. 5)\n";
-    return 0;
+    return bench::exitCode();
 }

@@ -66,5 +66,5 @@ main(int argc, char **argv)
                  "references)\n"
               << "scaled trace references this run: " << total_refs
               << "\n";
-    return 0;
+    return bench::exitCode();
 }

@@ -3,7 +3,7 @@
 #include <sstream>
 
 #include "util/bitops.hh"
-#include "util/logging.hh"
+#include "util/error.hh"
 
 namespace gaas::cache
 {
@@ -12,27 +12,29 @@ void
 CacheConfig::validate(const char *what) const
 {
     if (!isPowerOf2(sizeWords))
-        gaas_fatal(what, ": size (", sizeWords,
+        gaas_error(ErrorCode::Config, what, ": size (", sizeWords,
                    "W) must be a power of two");
     if (!isPowerOf2(lineWords))
-        gaas_fatal(what, ": line size (", lineWords,
+        gaas_error(ErrorCode::Config, what, ": line size (", lineWords,
                    "W) must be a power of two");
     if (lineWords > 32)
-        gaas_fatal(what, ": line size (", lineWords,
+        gaas_error(ErrorCode::Config, what, ": line size (", lineWords,
                    "W) exceeds the 32W subblock-mask limit");
     if (fetchWords != lineWords) {
-        gaas_fatal(what, ": fetch size (", fetchWords,
+        gaas_error(ErrorCode::Config, what, ": fetch size (", fetchWords,
                    "W) must equal line size (", lineWords,
                    "W) in this design study");
     }
     if (assoc == 0)
-        gaas_fatal(what, ": associativity must be nonzero");
+        gaas_error(ErrorCode::Config, what, ": associativity must be nonzero");
     if (sizeWords < static_cast<std::uint64_t>(lineWords) * assoc)
-        gaas_fatal(what, ": size too small for one set");
+        gaas_error(ErrorCode::Config, what, ": size too small for one set");
     if (lines() % assoc != 0)
-        gaas_fatal(what, ": lines not divisible by associativity");
+        gaas_error(ErrorCode::Config, what,
+                   ": lines not divisible by associativity");
     if (!isPowerOf2(sets()))
-        gaas_fatal(what, ": set count must be a power of two");
+        gaas_error(ErrorCode::Config, what,
+                   ": set count must be a power of two");
 }
 
 std::string

@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "util/logging.hh"
+#include "util/error.hh"
 
 namespace gaas::core
 {
@@ -87,7 +87,8 @@ SystemConfig::validate() const
     } else {
         l2.cache.validate("L2");
         if (l2Org == L2Org::LogicalSplit && l2.cache.sets() < 2) {
-            gaas_fatal("logically split L2 needs at least two sets "
+            gaas_error(ErrorCode::Config,
+                       "logically split L2 needs at least two sets "
                        "to partition on the index high bit");
         }
     }
@@ -95,41 +96,46 @@ SystemConfig::validate() const
     const auto &iside = l2InstSide();
     const auto &dside = l2DataSide();
     if (iside.accessTime == 0 || dside.accessTime == 0)
-        gaas_fatal("L2 access times must be nonzero");
+        gaas_error(ErrorCode::Config, "L2 access times must be nonzero");
     if (iside.cache.lineWords < l1i.lineWords ||
         dside.cache.lineWords < l1d.lineWords) {
-        gaas_fatal("L2 lines must be at least as large as L1 lines");
+        gaas_error(ErrorCode::Config,
+                   "L2 lines must be at least as large as L1 lines");
     }
     if (transferWordsPerCycle == 0)
-        gaas_fatal("transfer rate must be nonzero");
+        gaas_error(ErrorCode::Config, "transfer rate must be nonzero");
     if (wbDepth == 0 || wbEntryWords == 0)
-        gaas_fatal("write buffer geometry must be nonzero");
+        gaas_error(ErrorCode::Config, "write buffer geometry must be nonzero");
 
     if (writePolicy == WritePolicy::WriteBack &&
         wbEntryWords < l1d.lineWords) {
-        gaas_fatal("write-back victims need write-buffer entries of "
+        gaas_error(ErrorCode::Config,
+                   "write-back victims need write-buffer entries of "
                    "at least one L1-D line (",
                    l1d.lineWords, "W), got ", wbEntryWords, "W");
     }
     if (concurrentIRefill && !l2IsSplit()) {
-        gaas_fatal("concurrent I-refill requires a split L2: with a "
+        gaas_error(ErrorCode::Config,
+                   "concurrent I-refill requires a split L2: with a "
                    "unified L2 the refill and the write-buffer drain "
                    "contend for the same array");
     }
     if (loadBypass == LoadBypass::DirtyBit &&
         writePolicy != WritePolicy::WriteOnly) {
-        gaas_fatal("the dirty-bit load-bypass scheme relies on the "
+        gaas_error(ErrorCode::Config,
+                   "the dirty-bit load-bypass scheme relies on the "
                    "write-only policy allocating a line for every "
                    "write (Section 9)");
     }
     if (loadBypass != LoadBypass::None &&
         writePolicy == WritePolicy::WriteBack) {
-        gaas_fatal("load bypass applies to write-through write "
+        gaas_error(ErrorCode::Config,
+                   "load bypass applies to write-through write "
                    "buffers; the write-back buffer holds whole "
                    "victim lines");
     }
     if (timeSliceCycles == 0)
-        gaas_fatal("time slice must be nonzero");
+        gaas_error(ErrorCode::Config, "time slice must be nonzero");
 }
 
 std::string

@@ -8,7 +8,7 @@
 #include <sstream>
 #include <vector>
 
-#include "util/logging.hh"
+#include "util/error.hh"
 
 namespace gaas::core
 {
@@ -52,8 +52,8 @@ parsePolicy(const Entry &e)
         return WritePolicy::WriteOnly;
     if (v == "subblock")
         return WritePolicy::SubblockPlacement;
-    gaas_fatal("config line ", e.lineno, ": unknown write policy '",
-               v, "'");
+    gaas_error(ErrorCode::Config, "config line ", e.lineno,
+               ": unknown write policy '", v, "'");
 }
 
 const char *
@@ -80,7 +80,7 @@ parseOrg(const Entry &e)
         return L2Org::LogicalSplit;
     if (v == "physical")
         return L2Org::PhysicalSplit;
-    gaas_fatal("config line ", e.lineno,
+    gaas_error(ErrorCode::Config, "config line ", e.lineno,
                ": unknown L2 organisation '", v, "'");
 }
 
@@ -108,7 +108,7 @@ parseBypass(const Entry &e)
         return LoadBypass::Associative;
     if (v == "dirtybit")
         return LoadBypass::DirtyBit;
-    gaas_fatal("config line ", e.lineno,
+    gaas_error(ErrorCode::Config, "config line ", e.lineno,
                ": unknown load-bypass scheme '", v, "'");
 }
 
@@ -123,7 +123,7 @@ parseU64(const Entry &e)
         used = 0;
     }
     if (used != e.value.size()) {
-        gaas_fatal("config line ", e.lineno,
+        gaas_error(ErrorCode::Config, "config line ", e.lineno,
                    ": bad numeric value for ", e.key, ": '", e.value,
                    "'");
     }
@@ -144,7 +144,7 @@ parseBool(const Entry &e)
         return true;
     if (v == "false" || v == "0" || v == "no")
         return false;
-    gaas_fatal("config line ", e.lineno,
+    gaas_error(ErrorCode::Config, "config line ", e.lineno,
                ": bad boolean value for ", e.key, ": '", v, "'");
 }
 
@@ -381,10 +381,10 @@ saveConfigFile(const SystemConfig &cfg, const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
-        gaas_fatal("cannot write config to ", path);
+        gaas_error(ErrorCode::Config, "cannot write config to ", path);
     saveConfig(cfg, out);
     if (!out)
-        gaas_fatal("I/O error writing config to ", path);
+        gaas_error(ErrorCode::Config, "I/O error writing config to ", path);
 }
 
 SystemConfig
@@ -405,20 +405,20 @@ loadConfig(std::istream &is)
             continue;
         const auto eq = text.find('=');
         if (eq == std::string::npos) {
-            gaas_fatal("config line ", lineno,
+            gaas_error(ErrorCode::Config, "config line ", lineno,
                        ": expected 'key = value', got '", text, "'");
         }
         Entry e{trim(text.substr(0, eq)), trim(text.substr(eq + 1)),
                 lineno};
         if (schemaRank(e.key) == kSchemaSize) {
-            gaas_fatal("config line ", lineno, ": unknown key '",
-                       e.key, "'");
+            gaas_error(ErrorCode::Config, "config line ", lineno,
+                       ": unknown key '", e.key, "'");
         }
         const auto [it, inserted] = firstSeen.emplace(e.key, lineno);
         if (!inserted) {
-            gaas_fatal("config line ", lineno, ": duplicate key '",
-                       e.key, "' (first set on line ", it->second,
-                       ")");
+            gaas_error(ErrorCode::Config, "config line ", lineno,
+                       ": duplicate key '", e.key,
+                       "' (first set on line ", it->second, ")");
         }
         entries.push_back(std::move(e));
     }
@@ -447,7 +447,7 @@ loadConfigFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        gaas_fatal("cannot read config from ", path);
+        gaas_error(ErrorCode::Config, "cannot read config from ", path);
     return loadConfig(in);
 }
 

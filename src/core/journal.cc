@@ -1,0 +1,235 @@
+#include "journal.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "core/config_io.hh"
+#include "core/result_io.hh"
+#include "obs/json.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
+#include "util/file_io.hh"
+
+namespace gaas::core
+{
+
+namespace
+{
+
+/** 64-bit FNV-1a, the streaming flavour. */
+class Fnv1a
+{
+  public:
+    void
+    feed(std::string_view text)
+    {
+        for (const char c : text) {
+            hash ^= static_cast<unsigned char>(c);
+            hash *= 0x100000001b3ull;
+        }
+    }
+
+    void
+    feedNumber(std::uint64_t v)
+    {
+        feed(std::to_string(v));
+        feed("|");
+    }
+
+    std::string
+    hex() const
+    {
+        constexpr char digits[] = "0123456789abcdef";
+        std::string out(16, '0');
+        for (int i = 0; i < 16; ++i)
+            out[i] = digits[(hash >> (60 - 4 * i)) & 0xf];
+        return out;
+    }
+
+  private:
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+};
+
+/** Decode one journal line; throws FatalError on malformed input. */
+JournalRecord
+decodeRecord(const obs::JsonValue &v, std::string &key)
+{
+    const obs::JsonValue *key_m = v.member("key");
+    const obs::JsonValue *status_m = v.member("status");
+    if (!key_m || key_m->type != obs::JsonValue::Type::String ||
+        !status_m || status_m->type != obs::JsonValue::Type::String)
+        gaas_error(ErrorCode::StatsIO,
+                   "journal record lacks key/status strings");
+    key = key_m->scalar;
+
+    JournalRecord rec;
+    if (!parsePointStatus(status_m->scalar, rec.status))
+        gaas_error(ErrorCode::StatsIO,
+                   "journal record has unknown status '",
+                   status_m->scalar, "'");
+
+    if (rec.status == PointStatus::Failed) {
+        const obs::JsonValue *code_m = v.member("code");
+        if (!code_m ||
+            code_m->type != obs::JsonValue::Type::String ||
+            !parseErrorCode(code_m->scalar, rec.errorCode))
+            gaas_error(ErrorCode::StatsIO,
+                       "failed journal record lacks a valid code");
+        if (const obs::JsonValue *err_m = v.member("error"))
+            rec.error = err_m->scalar;
+    } else {
+        const obs::JsonValue *result_m = v.member("result");
+        if (!result_m)
+            gaas_error(ErrorCode::StatsIO,
+                       "journal record lacks its result");
+        rec.result = resultFromJson(*result_m);
+    }
+    return rec;
+}
+
+obs::JsonValue
+encodeRecord(const std::string &key, const JournalRecord &record)
+{
+    obs::JsonValue v = obs::JsonValue::object();
+    v.members.emplace_back("key", obs::JsonValue::string(key));
+    v.members.emplace_back(
+        "status",
+        obs::JsonValue::string(pointStatusName(record.status)));
+    if (record.status == PointStatus::Failed) {
+        v.members.emplace_back(
+            "code", obs::JsonValue::string(
+                        errorCodeName(record.errorCode)));
+        v.members.emplace_back(
+            "error", obs::JsonValue::string(record.error));
+    } else {
+        v.members.emplace_back("result",
+                               resultToJson(record.result));
+    }
+    return v;
+}
+
+bool
+truncateTo(std::FILE *file, std::int64_t size)
+{
+#if defined(_WIN32)
+    return ::_chsize_s(::_fileno(file), size) == 0;
+#else
+    return ::ftruncate(::fileno(file), static_cast<off_t>(size)) ==
+           0;
+#endif
+}
+
+} // namespace
+
+std::string
+sweepJobKey(const SweepJob &job)
+{
+    if (job.workload)
+        return "";
+    std::ostringstream cfg;
+    saveConfig(job.config, cfg);
+    Fnv1a digest;
+    digest.feed(cfg.str());
+    digest.feed("|");
+    digest.feedNumber(job.mpLevel);
+    digest.feedNumber(job.instructions);
+    digest.feedNumber(job.warmup);
+    digest.feedNumber(job.watchdogCycles);
+    return digest.hex();
+}
+
+bool
+RunJournal::open(const std::string &path, std::string *error)
+{
+    close();
+    records.clear();
+
+    // Load whatever a previous (possibly killed) run left behind.
+    // The file legitimately may not exist yet.
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+        std::string line;
+        while (std::getline(in, line)) {
+            // getline strips the '\n'; a line at EOF *without* one
+            // is the torn tail of a killed append -- skip it (its
+            // point simply re-simulates).
+            if (in.eof() && !in.bad())
+                break;
+            if (line.empty())
+                continue;
+            try {
+                std::string key;
+                JournalRecord rec =
+                    decodeRecord(obs::parseJson(line), key);
+                records[key] = std::move(rec); // last record wins
+            } catch (const FatalError &e) {
+                if (error) {
+                    *error = "journal " + path +
+                             " is corrupt: " + e.what();
+                }
+                return false;
+            }
+        }
+    }
+
+    file = std::fopen(path.c_str(), "ab");
+    if (!file) {
+        if (error)
+            *error = "cannot open journal " + path + " for append";
+        return false;
+    }
+    return true;
+}
+
+const JournalRecord *
+RunJournal::find(const std::string &key) const
+{
+    const auto it = records.find(key);
+    return it == records.end() ? nullptr : &it->second;
+}
+
+bool
+RunJournal::append(const std::string &key,
+                   const JournalRecord &record)
+{
+    if (!file || key.empty())
+        return false;
+    if (fault::shouldFail("journal-write"))
+        return false;
+
+    const std::string line =
+        obs::writeJsonCompact(encodeRecord(key, record)) + "\n";
+    // File size, not tellPos: in append mode the position before the
+    // first write is implementation-defined, but writes always land
+    // at end-of-file.
+    const std::int64_t before = util::fileSizeBytes(file);
+    if (!util::writeBytes(file, line.data(), line.size()) ||
+        !util::flushAndSync(file)) {
+        // Roll the file back to the last good record so a partial
+        // line cannot poison the records that follow it.
+        if (before < 0 || !truncateTo(file, before))
+            close();
+        return false;
+    }
+    records[key] = record;
+    return true;
+}
+
+void
+RunJournal::close()
+{
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+} // namespace gaas::core

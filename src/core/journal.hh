@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The append-only sweep journal behind `--resume`.
+ *
+ * A figure binary opens one journal (`sweep_journal.jsonl`) in its
+ * stats directory and the sweep engine appends one record -- a
+ * single compact-JSON line, fsynced before append() returns -- per
+ * completed point.  Records are keyed by a digest of everything that
+ * determines the point's result (the full saved configuration text,
+ * the multiprogramming level, the instruction and warmup budgets),
+ * so a journal written by a killed run can be replayed by any later
+ * run of the same ladder: points journaled Ok or Degraded are reused
+ * without simulating, Failed and missing points run again.
+ *
+ * Because each record carries the complete SimResult via
+ * core/result_io (bit-exact round-trip), a resumed run re-tabulates
+ * its CSVs and per-point JSON dumps byte-identically to an
+ * uninterrupted one.
+ *
+ * Loading tolerates a torn trailing line (the record being written
+ * when the process died) and takes the last record per key, so
+ * re-running after repeated kills just keeps appending.
+ */
+
+#ifndef GAAS_CORE_JOURNAL_HH
+#define GAAS_CORE_JOURNAL_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/sweep.hh"
+
+namespace gaas::core
+{
+
+/**
+ * The resume key of @p job: a 64-bit FNV-1a digest (16 hex digits)
+ * over the saved configuration text and the mpLevel/instructions/
+ * warmup budgets.
+ *
+ * @return "" for jobs with a custom workload builder -- the builder
+ *         cannot be digested, so such jobs are never journaled
+ */
+std::string sweepJobKey(const SweepJob &job);
+
+/** One journal line, decoded. */
+struct JournalRecord
+{
+    PointStatus status = PointStatus::Ok;
+
+    /** Valid when status != Failed. */
+    SimResult result;
+
+    /** @name Failure details (status == Failed only) */
+    ///@{
+    ErrorCode errorCode = ErrorCode::Internal;
+    std::string error;
+    ///@}
+};
+
+/** Append-only journal file; see file comment. */
+class RunJournal
+{
+  public:
+    RunJournal() = default;
+    ~RunJournal() { close(); }
+
+    RunJournal(const RunJournal &) = delete;
+    RunJournal &operator=(const RunJournal &) = delete;
+
+    /**
+     * Load existing records from @p path (absent file = empty
+     * journal) and open it for appending.
+     *
+     * @return false (with @p error set) if the file cannot be
+     *         decoded or opened; the caller typically warns and
+     *         sweeps without resume
+     */
+    bool open(const std::string &path, std::string *error = nullptr);
+
+    /** The last record journaled under @p key; nullptr if none. */
+    const JournalRecord *find(const std::string &key) const;
+
+    /**
+     * Append one record and fsync it.  A failure (disk full,
+     * injected "journal-write" fault) leaves the journal usable for
+     * later appends.
+     *
+     * @return false on write failure; the sweep downgrades the
+     *         point to Degraded rather than aborting
+     */
+    bool append(const std::string &key, const JournalRecord &record);
+
+    /** Records loaded at open() time. */
+    std::size_t loadedRecords() const { return records.size(); }
+
+    bool isOpen() const { return file != nullptr; }
+
+    void close();
+
+  private:
+    std::map<std::string, JournalRecord> records;
+    std::FILE *file = nullptr;
+};
+
+} // namespace gaas::core
+
+#endif // GAAS_CORE_JOURNAL_HH

@@ -1,0 +1,152 @@
+#include "result_io.hh"
+
+#include <charconv>
+#include <utility>
+
+#include "util/error.hh"
+
+namespace gaas::core
+{
+
+namespace
+{
+
+/**
+ * Apply @p f("dotted.name", field) to every u64 counter of a
+ * SimResult, in a fixed order.  Instantiated once over `SimResult &`
+ * (parsing) and once over `const SimResult &` (serializing), so the
+ * two directions can never disagree about the field list.
+ */
+template <typename Result, typename Fn>
+void
+visitCounters(Result &r, Fn &&f)
+{
+    f("instructions", r.instructions);
+    f("cycles", r.cycles);
+    f("cpu_stall_cycles", r.cpuStallCycles);
+    f("context_switches", r.contextSwitches);
+    f("syscall_switches", r.syscallSwitches);
+
+    f("comp.l1i_miss", r.comp.l1iMiss);
+    f("comp.l1d_miss", r.comp.l1dMiss);
+    f("comp.l1_writes", r.comp.l1Writes);
+    f("comp.wb_wait", r.comp.wbWait);
+    f("comp.l2i_miss", r.comp.l2iMiss);
+    f("comp.l2d_miss", r.comp.l2dMiss);
+    f("comp.tlb", r.comp.tlb);
+
+    f("sys.ifetches", r.sys.ifetches);
+    f("sys.l1i_misses", r.sys.l1iMisses);
+    f("sys.loads", r.sys.loads);
+    f("sys.l1d_read_misses", r.sys.l1dReadMisses);
+    f("sys.stores", r.sys.stores);
+    f("sys.l1d_write_misses", r.sys.l1dWriteMisses);
+    f("sys.write_only_read_misses", r.sys.writeOnlyReadMisses);
+    f("sys.l2i_accesses", r.sys.l2iAccesses);
+    f("sys.l2i_misses", r.sys.l2iMisses);
+    f("sys.l2d_accesses", r.sys.l2dAccesses);
+    f("sys.l2d_misses", r.sys.l2dMisses);
+    f("sys.l2_dirty_misses", r.sys.l2DirtyMisses);
+    f("sys.l2_write_allocates", r.sys.l2WriteAllocates);
+
+    f("sys.wb.pushes", r.sys.wb.pushes);
+    f("sys.wb.full_stalls", r.sys.wb.fullStalls);
+    f("sys.wb.full_stall_cycles", r.sys.wb.fullStallCycles);
+    f("sys.wb.drain_waits", r.sys.wb.drainWaits);
+    f("sys.wb.drain_wait_cycles", r.sys.wb.drainWaitCycles);
+    f("sys.wb.bypasses", r.sys.wb.bypasses);
+    f("sys.wb.max_occupancy", r.sys.wb.maxOccupancy);
+
+    f("sys.mem.reads", r.sys.memory.reads);
+    f("sys.mem.dirty_writebacks", r.sys.memory.dirtyWritebacks);
+    f("sys.mem.bus_wait_cycles", r.sys.memory.busWaitCycles);
+    f("sys.mem.bus_waits", r.sys.memory.busWaits);
+
+    f("sys.itlb.accesses", r.sys.itlb.accesses);
+    f("sys.itlb.misses", r.sys.itlb.misses);
+    f("sys.dtlb.accesses", r.sys.dtlb.accesses);
+    f("sys.dtlb.misses", r.sys.dtlb.misses);
+}
+
+/** The host-timing doubles, same single-field-table idea. */
+template <typename Result, typename Fn>
+void
+visitDoubles(Result &r, Fn &&f)
+{
+    f("host_seconds", r.hostSeconds);
+    f("host_stats_seconds", r.hostStatsSeconds);
+}
+
+[[noreturn]] void
+badField(const char *name, const char *what)
+{
+    gaas_error(ErrorCode::StatsIO, "journal result record: field '",
+               name, "' ", what);
+}
+
+} // namespace
+
+obs::JsonValue
+resultToJson(const SimResult &result)
+{
+    obs::JsonValue root = obs::JsonValue::object();
+    root.members.emplace_back(
+        "config", obs::JsonValue::string(result.configName));
+    visitCounters(result, [&root](const char *name, Count v) {
+        root.members.emplace_back(name, obs::JsonValue::number(v));
+    });
+    visitDoubles(result, [&root](const char *name, double v) {
+        root.members.emplace_back(name, obs::JsonValue::number(v));
+    });
+    return root;
+}
+
+SimResult
+resultFromJson(const obs::JsonValue &v)
+{
+    if (v.type != obs::JsonValue::Type::Object)
+        gaas_error(ErrorCode::StatsIO,
+                   "journal result record is not an object");
+
+    SimResult result;
+
+    const obs::JsonValue *config = v.member("config");
+    if (!config || config->type != obs::JsonValue::Type::String)
+        badField("config", "is missing or not a string");
+    result.configName = config->scalar;
+
+    visitCounters(result, [&v](const char *name, Count &out) {
+        const obs::JsonValue *m = v.member(name);
+        if (!m || m->type != obs::JsonValue::Type::Number)
+            badField(name, "is missing or not a number");
+        const char *first = m->scalar.data();
+        const char *last = first + m->scalar.size();
+        const auto res = std::from_chars(first, last, out);
+        if (res.ec != std::errc{} || res.ptr != last)
+            badField(name, "is not an unsigned integer");
+    });
+
+    visitDoubles(result, [&v](const char *name, double &out) {
+        const obs::JsonValue *m = v.member(name);
+        if (!m)
+            badField(name, "is missing");
+        if (m->type == obs::JsonValue::Type::Null) {
+            // number(double) writes non-finite values as null; the
+            // timing fields never feed byte-compared output, so any
+            // placeholder that round-trips through null is fine.
+            out = 0.0;
+            return;
+        }
+        if (m->type != obs::JsonValue::Type::Number)
+            badField(name, "is not a number");
+        const char *first = m->scalar.data();
+        const char *last = first + m->scalar.size();
+        const auto res = std::from_chars(first, last, out);
+        if (res.ec != std::errc{} || res.ptr != last)
+            badField(name, "is not a double");
+    });
+
+    return result;
+}
+
+} // namespace gaas::core

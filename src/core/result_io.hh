@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Exact (de)serialization of a SimResult, for the sweep journal.
+ *
+ * Unlike the stats dumps (core/stats_dump.hh), which render a
+ * human/machine-readable *view* of a result, this pair round-trips
+ * the complete struct bit-exactly: every counter is a decimal u64
+ * and every double uses shortest-round-trip formatting, so a result
+ * reloaded from a journal is indistinguishable from the original --
+ * a resumed figure run re-tabulates CSVs and re-emits per-point JSON
+ * dumps byte-identically to an uninterrupted run.
+ */
+
+#ifndef GAAS_CORE_RESULT_IO_HH
+#define GAAS_CORE_RESULT_IO_HH
+
+#include "core/cpi.hh"
+#include "obs/json.hh"
+
+namespace gaas::core
+{
+
+/** Serialize every field of @p result (flat object, stable keys). */
+obs::JsonValue resultToJson(const SimResult &result);
+
+/**
+ * Rebuild a SimResult from resultToJson output.
+ *
+ * Throws SimError(StatsIO) on a missing or malformed field -- a
+ * journal record that does not fully decode must not resume.
+ */
+SimResult resultFromJson(const obs::JsonValue &v);
+
+} // namespace gaas::core
+
+#endif // GAAS_CORE_RESULT_IO_HH

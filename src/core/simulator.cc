@@ -1,6 +1,7 @@
 #include "simulator.hh"
 
 #include "obs/metrics.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace gaas::core
@@ -117,6 +118,13 @@ Simulator::runLoop(Count n)
             current = next_alive(current);
             sliceEnd = now + cfg.timeSliceCycles;
             continue;
+        }
+
+        if (watchdogCycles != 0 && cycles > watchdogCycles) {
+            gaas_error(ErrorCode::Watchdog, "config '", cfg.name,
+                       "': one instruction cost ", cycles,
+                       " cycles (watchdog budget ", watchdogCycles,
+                       ")");
         }
 
         now += cycles;

@@ -47,6 +47,18 @@ class Simulator
     /** The cache system (for inspection after run()). */
     const CacheSystem &system() const { return sys; }
 
+    /**
+     * Arm the zero-progress watchdog: if any single instruction
+     * costs more than @p budget_cycles, run() throws
+     * SimError(Watchdog) instead of burning the cycle budget on a
+     * stuck machine (a livelocked write buffer, a pathological
+     * configuration).  0 (the default) disables the check.
+     */
+    void setWatchdogCycles(Cycles budget_cycles)
+    {
+        watchdogCycles = budget_cycles;
+    }
+
   private:
     /** References buffered per process per TraceSource::nextBatch
      *  call, so the hot loop pays one virtual call per kRefBatch
@@ -102,6 +114,7 @@ class Simulator
     std::size_t current = 0;
     std::size_t alive = 0;
     Cycles sliceEnd = 0;
+    Cycles watchdogCycles = 0; //!< 0 = watchdog off
     ///@}
 
     /** @name Measured since the last resetMeasurement() */

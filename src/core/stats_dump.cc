@@ -1,12 +1,12 @@
 #include "stats_dump.hh"
 
 #include <filesystem>
-#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
 #include "obs/json.hh"
+#include "util/file_io.hh"
 #include "util/logging.hh"
 
 namespace gaas::core
@@ -103,13 +103,14 @@ dumpStats(const SimResult &r, std::ostream &os)
 bool
 dumpStatsFile(const SimResult &result, const std::string &path)
 {
-    std::ofstream out(path);
-    if (!out) {
-        warn("cannot write stats to ", path);
+    std::ostringstream out;
+    dumpStats(result, out);
+    std::string error;
+    if (!util::writeFileAtomicRetry(path, out.str(), &error)) {
+        warn("stats dump: ", error);
         return false;
     }
-    dumpStats(result, out);
-    return static_cast<bool>(out);
+    return true;
 }
 
 void
@@ -131,13 +132,14 @@ dumpStatsJsonFile(const SimResult &result, const std::string &path)
     std::error_code ec;
     if (p.has_parent_path())
         std::filesystem::create_directories(p.parent_path(), ec);
-    std::ofstream out(path);
-    if (!out) {
-        warn("cannot write JSON stats to ", path);
+    std::ostringstream out;
+    dumpStatsJson(result, out);
+    std::string error;
+    if (!util::writeFileAtomicRetry(path, out.str(), &error)) {
+        warn("JSON stats dump: ", error);
         return false;
     }
-    dumpStatsJson(result, out);
-    return static_cast<bool>(out);
+    return true;
 }
 
 } // namespace gaas::core

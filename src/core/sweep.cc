@@ -7,13 +7,43 @@
 #include <thread>
 #include <utility>
 
+#include "core/journal.hh"
 #include "obs/metrics.hh"
 #include "util/env.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
 namespace gaas::core
 {
+
+const char *
+pointStatusName(PointStatus status)
+{
+    switch (status) {
+      case PointStatus::Ok:
+        return "ok";
+      case PointStatus::Failed:
+        return "failed";
+      case PointStatus::Degraded:
+        return "degraded";
+    }
+    return "unknown";
+}
+
+bool
+parsePointStatus(const std::string &name, PointStatus &out)
+{
+    for (const PointStatus s :
+         {PointStatus::Ok, PointStatus::Failed,
+          PointStatus::Degraded}) {
+        if (name == pointStatusName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
 
 double
 SweepStats::refsPerSecond() const
@@ -54,6 +84,7 @@ runSweepJob(const SweepJob &job, SweepJobStats *stats)
                                     ? job.workload()
                                     : Workload::standard(job.mpLevel);
             sim.emplace(job.config, std::move(workload));
+            sim->setWatchdogCycles(job.watchdogCycles);
         }
         {
             obs::ScopedTimer timer(local.simSeconds);
@@ -68,36 +99,121 @@ runSweepJob(const SweepJob &job, SweepJobStats *stats)
     return result;
 }
 
-std::vector<SimResult>
-runSweep(const std::vector<SweepJob> &jobs, unsigned workers,
-         SweepStats *stats, const SweepProgress &progress)
+namespace
+{
+
+/**
+ * runSweepJob with the fault fence around it: any throw becomes a
+ * Failed outcome (code + message) instead of escaping into the pool.
+ */
+SweepOutcome
+runJobIsolated(const SweepJob &job, SweepJobStats *stats)
+{
+    SweepOutcome out;
+    try {
+        if (fault::shouldFail("sweep-job")) {
+            gaas_error(ErrorCode::Internal,
+                       "injected fault: sweep-job (config '",
+                       job.config.name, "')");
+        }
+        out.result = runSweepJob(job, stats);
+    } catch (const SimError &e) {
+        out.status = PointStatus::Failed;
+        out.errorCode = e.code();
+        out.error = e.what();
+        out.result = SimResult{};
+        out.result.configName = job.config.name;
+    } catch (const std::exception &e) {
+        out.status = PointStatus::Failed;
+        out.errorCode = ErrorCode::Internal;
+        out.error = e.what();
+        out.result = SimResult{};
+        out.result.configName = job.config.name;
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<SweepOutcome>
+runSweepOutcomes(const std::vector<SweepJob> &jobs, unsigned workers,
+                 SweepStats *stats, const SweepProgress &progress,
+                 RunJournal *journal)
 {
     if (workers == 0)
         workers = sweepWorkers();
 
     const obs::Stopwatch wall;
-    std::vector<SimResult> results;
-    results.reserve(jobs.size());
+    const std::size_t n = jobs.size();
 
-    // One telemetry slot per job, preallocated so workers write
-    // disjoint elements; the future handoff orders each slot's write
-    // before the gathering thread reads it.
-    std::vector<SweepJobStats> job_stats(jobs.size());
+    // Resolve journal reuse up front so the pool only ever sees the
+    // points that actually need simulating.
+    std::vector<std::string> keys(n);
+    std::vector<const JournalRecord *> reuse(n, nullptr);
+    std::size_t to_run = n;
+    if (journal) {
+        for (std::size_t i = 0; i < n; ++i) {
+            keys[i] = sweepJobKey(jobs[i]);
+            if (keys[i].empty())
+                continue;
+            const JournalRecord *rec = journal->find(keys[i]);
+            if (rec && rec->status != PointStatus::Failed) {
+                reuse[i] = rec;
+                --to_run;
+            }
+        }
+    }
 
-    if (workers <= 1 || jobs.size() <= 1) {
+    std::vector<SweepOutcome> outcomes(n);
+    std::vector<SweepJobStats> job_stats(n);
+
+    auto reusedOutcome = [&reuse](std::size_t i) {
+        SweepOutcome out;
+        out.status = reuse[i]->status;
+        out.result = reuse[i]->result;
+        out.reused = true;
+        return out;
+    };
+
+    // Runs on the gathering thread, in submission order: hand the
+    // telemetry over, let the caller see (and possibly downgrade)
+    // the point, then make it durable.
+    auto finalize = [&](std::size_t i, SweepOutcome &out) {
+        out.stats = job_stats[i];
+        if (progress)
+            progress(i, out);
+        if (journal && !out.reused && !keys[i].empty()) {
+            JournalRecord rec;
+            rec.status = out.status;
+            rec.result = out.result;
+            rec.errorCode = out.errorCode;
+            rec.error = out.error;
+            if (!journal->append(keys[i], rec) &&
+                out.status == PointStatus::Ok) {
+                // The point itself is fine; only its durability is
+                // lost.  Never abort a sweep over journal I/O.
+                out.status = PointStatus::Degraded;
+            }
+        }
+    };
+
+    if (workers <= 1 || to_run <= 1) {
         // Serial reference path: also the pooled path's ground truth.
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
-            results.push_back(runSweepJob(jobs[i], &job_stats[i]));
-            if (progress)
-                progress(i, results.back(), job_stats[i]);
+        for (std::size_t i = 0; i < n; ++i) {
+            outcomes[i] = reuse[i]
+                              ? reusedOutcome(i)
+                              : runJobIsolated(jobs[i], &job_stats[i]);
+            finalize(i, outcomes[i]);
         }
     } else {
         ThreadPool pool(workers);
         std::mutex id_mutex;
         std::map<std::thread::id, unsigned> worker_ids;
-        std::vector<std::future<SimResult>> futures;
-        futures.reserve(jobs.size());
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
+        std::vector<std::future<SweepOutcome>> futures;
+        futures.reserve(to_run);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (reuse[i])
+                continue;
             const SweepJob &job = jobs[i];
             SweepJobStats &slot = job_stats[i];
             const obs::Stopwatch submitted;
@@ -115,28 +231,62 @@ runSweep(const std::vector<SweepJob> &jobs, unsigned workers,
                                      worker_ids.size())
                             .first->second);
                 }
-                return runSweepJob(job, &slot);
+                return runJobIsolated(job, &slot);
             }));
         }
         // Futures are held in submission order, so gathering them in
         // order restores determinism no matter how the workers
         // interleaved.
-        for (std::size_t i = 0; i < futures.size(); ++i) {
-            results.push_back(futures[i].get());
-            if (progress)
-                progress(i, results.back(), job_stats[i]);
+        std::size_t next_future = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            outcomes[i] = reuse[i] ? reusedOutcome(i)
+                                   : futures[next_future++].get();
+            finalize(i, outcomes[i]);
         }
     }
 
     if (stats) {
-        stats->jobs = jobs.size();
+        stats->jobs = n;
         stats->workers = workers;
         stats->wallSeconds = wall.seconds();
         stats->references = 0;
-        for (const auto &res : results)
-            stats->references += res.references();
+        stats->okPoints = 0;
+        stats->failedPoints = 0;
+        stats->degradedPoints = 0;
+        stats->reusedPoints = 0;
+        for (const auto &out : outcomes) {
+            stats->references += out.result.references();
+            if (out.status == PointStatus::Failed)
+                ++stats->failedPoints;
+            else
+                ++stats->okPoints;
+            if (out.status == PointStatus::Degraded)
+                ++stats->degradedPoints;
+            if (out.reused)
+                ++stats->reusedPoints;
+        }
         stats->perJob = std::move(job_stats);
     }
+    return outcomes;
+}
+
+std::vector<SimResult>
+runSweep(const std::vector<SweepJob> &jobs, unsigned workers,
+         SweepStats *stats, const SweepProgress &progress)
+{
+    std::vector<SweepOutcome> outcomes =
+        runSweepOutcomes(jobs, workers, stats, progress);
+
+    std::vector<SimResult> results;
+    results.reserve(outcomes.size());
+    const SweepOutcome *first_failed = nullptr;
+    for (auto &out : outcomes) {
+        if (!first_failed && out.status == PointStatus::Failed)
+            first_failed = &out;
+        results.push_back(std::move(out.result));
+    }
+    if (first_failed)
+        throw SimError(first_failed->errorCode, first_failed->error);
     return results;
 }
 

@@ -18,15 +18,19 @@
 #define GAAS_CORE_SWEEP_HH
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/config.hh"
 #include "core/simulator.hh"
 #include "core/workload.hh"
+#include "util/error.hh"
 #include "util/types.hh"
 
 namespace gaas::core
 {
+
+class RunJournal;
 
 /** One independent simulation of a design-space sweep. */
 struct SweepJob
@@ -42,13 +46,35 @@ struct SweepJob
     /** Warmup instructions before measurement starts. */
     Count warmup = 0;
 
+    /** Per-instruction cycle budget for the zero-progress watchdog
+     *  (Simulator::setWatchdogCycles); 0 = off. */
+    Cycles watchdogCycles = 0;
+
     /**
      * Optional workload builder, called on the worker that runs the
      * job.  When empty the standard looping workload at mpLevel is
      * built.  Tests use this to inject finite (exhaustible) traces.
+     * Jobs with a custom builder are opaque to the resume journal
+     * (their key cannot capture the workload), so they are always
+     * re-simulated and never journaled.
      */
     std::function<Workload()> workload;
 };
+
+/** How one sweep point ended. */
+enum class PointStatus
+{
+    Ok,       //!< simulated (or reused from a journal) successfully
+    Failed,   //!< the job threw; result is zeroed, error/code set
+    Degraded, //!< result is valid but a side effect (stats dump,
+              //!< journal append) was lost; marked by the caller
+};
+
+/** Stable wire name of @p status ("ok"/"failed"/"degraded"). */
+const char *pointStatusName(PointStatus status);
+
+/** Parse a wire name back; true and set @p out on a known name. */
+bool parsePointStatus(const std::string &name, PointStatus &out);
 
 /** Host-time telemetry for one executed sweep job. */
 struct SweepJobStats
@@ -70,6 +96,33 @@ struct SweepJobStats
     unsigned worker = 0;
 };
 
+/**
+ * Everything one sweep point produced: the result (zeroed on
+ * failure), the job telemetry, and -- for failed points -- the
+ * structured error that killed it.
+ */
+struct SweepOutcome
+{
+    PointStatus status = PointStatus::Ok;
+
+    /** Valid for Ok/Degraded; zero-initialized for Failed (every
+     *  derived SimResult ratio guards division by zero). */
+    SimResult result;
+
+    SweepJobStats stats;
+
+    /** Classification of the failure (Failed points only). */
+    ErrorCode errorCode = ErrorCode::Internal;
+
+    /** The failure's what() text (Failed points only). */
+    std::string error;
+
+    /** True if the result was reused from a journal, not simulated. */
+    bool reused = false;
+
+    bool ok() const { return status != PointStatus::Failed; }
+};
+
 /** Aggregate wall-clock accounting of one runSweep() call. */
 struct SweepStats
 {
@@ -80,6 +133,14 @@ struct SweepStats
     /** Sum of SimResult::references() over the whole sweep. */
     Count references = 0;
 
+    /** @name Point dispositions (ok + failed == jobs) */
+    ///@{
+    std::size_t okPoints = 0;
+    std::size_t failedPoints = 0;
+    std::size_t degradedPoints = 0; //!< subset of okPoints
+    std::size_t reusedPoints = 0;   //!< subset of okPoints
+    ///@}
+
     /** Per-job telemetry, in submission order. */
     std::vector<SweepJobStats> perJob;
 
@@ -88,13 +149,16 @@ struct SweepStats
 };
 
 /**
- * Per-point completion callback: (submission index, result, job
- * telemetry).  Always invoked on the calling thread, in submission
- * order, as results are gathered -- so it may write to shared state
- * (progress lines, JSON dumps) without locking.
+ * Per-point completion callback: (submission index, outcome).
+ * Always invoked on the calling thread, in submission order, as
+ * results are gathered -- so it may write to shared state (progress
+ * lines, JSON dumps) without locking.  The outcome is mutable so the
+ * callback can downgrade a point to Degraded (e.g. its stats dump
+ * could not be written) before the sweep journals it and counts
+ * dispositions.
  */
-using SweepProgress = std::function<void(
-    std::size_t, const SimResult &, const SweepJobStats &)>;
+using SweepProgress =
+    std::function<void(std::size_t, SweepOutcome &)>;
 
 /**
  * Worker count used when runSweep is called with workers == 0:
@@ -117,14 +181,37 @@ SimResult runSweepJob(const SweepJob &job,
                       SweepJobStats *stats = nullptr);
 
 /**
- * Run @p jobs across @p workers threads (0 = sweepWorkers()).
+ * Run @p jobs across @p workers threads (0 = sweepWorkers()) with
+ * per-job fault isolation: a job that throws becomes a Failed
+ * outcome carrying the error's code and message, and every other
+ * point still runs to completion.
  *
- * @param stats filled with wall-clock/throughput totals and per-job
- *        telemetry if non-null
+ * With a @p journal (opened by the caller), points whose key is
+ * already journaled as Ok/Degraded are reused without simulating
+ * (reused = true, zero sim seconds); Failed and missing points are
+ * re-simulated.  Every freshly simulated point is appended to the
+ * journal -- after @p progress ran, so a Degraded downgrade is
+ * recorded -- and an append failure downgrades the point instead of
+ * aborting the sweep.
+ *
+ * @param stats filled with wall-clock/throughput totals, disposition
+ *        counts and per-job telemetry if non-null
  * @param progress invoked once per job, in submission order, on the
  *        calling thread
- * @return one SimResult per job, in submission order; bit-identical
- *         to running the jobs serially (host timing fields excepted)
+ * @return one SweepOutcome per job, in submission order;
+ *         bit-identical to running the jobs serially (host timing
+ *         fields excepted)
+ */
+std::vector<SweepOutcome>
+runSweepOutcomes(const std::vector<SweepJob> &jobs,
+                 unsigned workers = 0, SweepStats *stats = nullptr,
+                 const SweepProgress &progress = {},
+                 RunJournal *journal = nullptr);
+
+/**
+ * Compatibility wrapper over runSweepOutcomes: returns the bare
+ * results and rethrows the first failure (as SimError) after the
+ * whole sweep drained.
  */
 std::vector<SimResult> runSweep(const std::vector<SweepJob> &jobs,
                                 unsigned workers = 0,

@@ -217,6 +217,42 @@ writeValue(const JsonValue &v, std::ostream &os, unsigned indent)
     }
 }
 
+void
+writeValueCompact(const JsonValue &v, std::ostream &os)
+{
+    switch (v.type) {
+      case JsonValue::Type::Null:
+        os << "null";
+        break;
+      case JsonValue::Type::Number:
+        os << v.scalar;
+        break;
+      case JsonValue::Type::String:
+        writeEscaped(v.scalar, os);
+        break;
+      case JsonValue::Type::Array:
+        os << '[';
+        for (std::size_t i = 0; i < v.items.size(); ++i) {
+            if (i)
+                os << ',';
+            writeValueCompact(v.items[i], os);
+        }
+        os << ']';
+        break;
+      case JsonValue::Type::Object:
+        os << '{';
+        for (std::size_t i = 0; i < v.members.size(); ++i) {
+            if (i)
+                os << ',';
+            writeEscaped(v.members[i].first, os);
+            os << ':';
+            writeValueCompact(v.members[i].second, os);
+        }
+        os << '}';
+        break;
+    }
+}
+
 /** Recursive-descent parser over the emitted subset. */
 class Parser
 {
@@ -461,6 +497,14 @@ writeJsonString(const JsonValue &v)
 {
     std::ostringstream os;
     writeJson(v, os);
+    return os.str();
+}
+
+std::string
+writeJsonCompact(const JsonValue &v)
+{
+    std::ostringstream os;
+    writeValueCompact(v, os);
     return os.str();
 }
 

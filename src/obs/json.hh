@@ -83,6 +83,14 @@ void writeJson(const JsonValue &v, std::ostream &os);
 std::string writeJsonString(const JsonValue &v);
 
 /**
+ * Single-line, no-whitespace rendering of @p v (no trailing
+ * newline): one journal record per line (core/journal.hh) needs the
+ * whole document on one line so a torn tail is detectable.
+ * parseJson reads it back exactly.
+ */
+std::string writeJsonCompact(const JsonValue &v);
+
+/**
  * Parse @p text (throws FatalError with an offset on malformed
  * input).  Number tokens are kept verbatim, so re-emitting a parsed
  * document reproduces this library's own output byte-for-byte.

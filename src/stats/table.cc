@@ -7,6 +7,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "util/file_io.hh"
 #include "util/logging.hh"
 
 namespace gaas::stats
@@ -156,13 +157,17 @@ Table::writeCsv(const std::string &path) const
     const auto parent = std::filesystem::path(path).parent_path();
     if (!parent.empty())
         std::filesystem::create_directories(parent, ec);
-    std::ofstream out(path);
-    if (!out) {
-        warn("could not write CSV to ", path);
+    // Atomic publication (temp + rename) with bounded retry: a
+    // reader never observes a half-written CSV, and a killed bench
+    // leaves either the old file or the new one, never a torn mix.
+    std::ostringstream out;
+    printCsv(out);
+    std::string error;
+    if (!util::writeFileAtomicRetry(path, out.str(), &error)) {
+        warn("CSV write: ", error);
         return false;
     }
-    printCsv(out);
-    return static_cast<bool>(out);
+    return true;
 }
 
 } // namespace gaas::stats

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/error.hh"
+#include "util/fault.hh"
 #include "util/file_io.hh"
 #include "util/logging.hh"
 
@@ -67,7 +69,7 @@ unpackRecord(const unsigned char *bytes)
     const unsigned char meta = bytes[8];
     const unsigned kind = meta & 0x03;
     if (kind > 2)
-        gaas_fatal("trace record has invalid kind ", kind);
+        gaas_error(ErrorCode::TraceIO, "trace record has invalid kind ", kind);
     ref.kind = static_cast<RefKind>(kind);
     ref.syscall = (meta & 0x04) != 0;
     ref.partialWord = (meta & 0x08) != 0;
@@ -79,17 +81,24 @@ unpackRecord(const unsigned char *bytes)
 TraceFileWriter::TraceFileWriter(const std::string &path_)
     : path(path_)
 {
+    if (fault::shouldFail("trace-open")) {
+        gaas_error(ErrorCode::TraceIO,
+                   "injected fault: trace-open (writing ", path,
+                   ")");
+    }
     file = std::fopen(path.c_str(), "wb");
     if (!file)
-        gaas_fatal("cannot open trace file for writing: ", path);
+        gaas_error(ErrorCode::TraceIO,
+                   "cannot open trace file for writing: ", path);
     buffer.reserve(kBufferRecords * kTraceRecordBytes);
     // Placeholder header; the count is patched on close().
     unsigned char header[kHeaderBytes];
     putU32(header, kTraceMagic);
     putU32(header + 4, kTraceVersion);
     putU64(header + 8, 0);
-    if (std::fwrite(header, 1, kHeaderBytes, file) != kHeaderBytes)
-        gaas_fatal("short write on trace header: ", path);
+    if (!util::writeBytes(file, header, kHeaderBytes))
+        gaas_error(ErrorCode::TraceIO,
+                   "short write on trace header: ", path);
 }
 
 TraceFileWriter::~TraceFileWriter()
@@ -132,9 +141,9 @@ TraceFileWriter::flushBuffer()
 {
     if (buffer.empty())
         return;
-    if (std::fwrite(buffer.data(), 1, buffer.size(), file) !=
-        buffer.size()) {
-        gaas_fatal("short write on trace file: ", path);
+    if (!util::writeBytes(file, buffer.data(), buffer.size())) {
+        gaas_error(ErrorCode::TraceIO, "short write on trace file: ",
+                   path);
     }
     buffer.clear();
 }
@@ -150,19 +159,25 @@ TraceFileWriter::close()
     unsigned char countBytes[8];
     putU64(countBytes, count);
     bool ok = util::seekTo(file, 8) &&
-              std::fwrite(countBytes, 1, 8, file) == 8;
+              util::writeBytes(file, countBytes, 8) &&
+              util::flushAndSync(file);
     ok = std::fclose(file) == 0 && ok;
     file = nullptr;
     if (!ok)
-        gaas_fatal("error finalising trace file: ", path);
+        gaas_error(ErrorCode::TraceIO, "error finalising trace file: ", path);
 }
 
 TraceFileReader::TraceFileReader(const std::string &path_)
     : path(path_)
 {
+    if (fault::shouldFail("trace-open")) {
+        gaas_error(ErrorCode::TraceIO,
+                   "injected fault: trace-open (reading ", path,
+                   ")");
+    }
     file = std::fopen(path.c_str(), "rb");
     if (!file)
-        gaas_fatal("cannot open trace file: ", path);
+        gaas_error(ErrorCode::TraceIO, "cannot open trace file: ", path);
     buffer.resize(kBufferRecords * kTraceRecordBytes);
     readHeader();
     validateSize();
@@ -179,14 +194,15 @@ TraceFileReader::readHeader()
 {
     unsigned char header[kHeaderBytes];
     if (std::fread(header, 1, kHeaderBytes, file) != kHeaderBytes)
-        gaas_fatal("trace file too short: ", path);
+        gaas_error(ErrorCode::TraceIO, "trace file too short: ", path);
     if (getU32(header) != kTraceMagic)
-        gaas_fatal("bad magic in trace file: ", path);
+        gaas_error(ErrorCode::TraceIO, "bad magic in trace file: ", path);
     version = getU32(header + 4);
     if (version < kTraceMinVersion || version > kTraceVersion) {
-        gaas_fatal("unsupported trace version ", version, " in ",
-                   path, " (this build reads versions ",
-                   kTraceMinVersion, "..", kTraceVersion, ")");
+        gaas_error(ErrorCode::TraceIO, "unsupported trace version ",
+                   version, " in ", path,
+                   " (this build reads versions ", kTraceMinVersion,
+                   "..", kTraceVersion, ")");
     }
     total = getU64(header + 8);
 }
@@ -201,13 +217,15 @@ TraceFileReader::validateSize()
     // mismatch is corruption whatever the version says.
     const std::int64_t actual = util::fileSizeBytes(file);
     if (actual < 0)
-        gaas_fatal("cannot determine size of trace file: ", path);
+        gaas_error(ErrorCode::TraceIO,
+                   "cannot determine size of trace file: ", path);
     const std::uint64_t expected =
         kHeaderBytes + total * kTraceRecordBytes;
     const auto bytes = static_cast<std::uint64_t>(actual);
     if (bytes < expected) {
         const std::uint64_t body = bytes - kHeaderBytes;
-        gaas_fatal("trace file truncated: ", path, " header promises ",
+        gaas_error(ErrorCode::TraceIO, "trace file truncated: ",
+                   path, " header promises ",
                    total, " records (", expected, " bytes) but the "
                    "file is ", bytes, " bytes -- it ends ",
                    expected - bytes, " bytes short, inside record ",
@@ -215,7 +233,8 @@ TraceFileReader::validateSize()
                    bytes);
     }
     if (bytes > expected) {
-        gaas_fatal("trace file has trailing garbage: ", path,
+        gaas_error(ErrorCode::TraceIO,
+                   "trace file has trailing garbage: ", path,
                    " header promises ", total, " records (", expected,
                    " bytes) but the file is ", bytes, " bytes -- ",
                    bytes - expected,
@@ -230,7 +249,8 @@ TraceFileReader::fillBuffer()
     bufLen = std::fread(buffer.data(), 1, buffer.size(), file);
     bufPos = 0;
     if (bufLen % kTraceRecordBytes != 0)
-        gaas_fatal("truncated record in trace file: ", path);
+        gaas_error(ErrorCode::TraceIO,
+                   "truncated record in trace file: ", path);
     return bufLen > 0;
 }
 
@@ -240,7 +260,8 @@ TraceFileReader::next(MemRef &ref)
     if (consumed >= total)
         return false;
     if (bufPos >= bufLen && !fillBuffer()) {
-        gaas_fatal("trace file ", path, " ended after ", consumed,
+        gaas_error(ErrorCode::TraceIO, "trace file ", path,
+                   " ended after ", consumed,
                    " of ", total, " records");
     }
     ref = unpackRecord(buffer.data() + bufPos);
@@ -253,7 +274,7 @@ void
 TraceFileReader::reset()
 {
     if (!util::seekTo(file, kHeaderBytes))
-        gaas_fatal("cannot rewind trace file: ", path);
+        gaas_error(ErrorCode::TraceIO, "cannot rewind trace file: ", path);
     bufPos = bufLen = 0;
     consumed = 0;
 }

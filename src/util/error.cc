@@ -1,0 +1,54 @@
+#include "error.hh"
+
+#include <sstream>
+
+namespace gaas
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Config:
+        return "config";
+      case ErrorCode::TraceIO:
+        return "trace-io";
+      case ErrorCode::StatsIO:
+        return "stats-io";
+      case ErrorCode::Watchdog:
+        return "watchdog";
+      case ErrorCode::Internal:
+        return "internal";
+    }
+    return "internal";
+}
+
+bool
+parseErrorCode(const std::string &name, ErrorCode &out)
+{
+    for (ErrorCode code :
+         {ErrorCode::Config, ErrorCode::TraceIO, ErrorCode::StatsIO,
+          ErrorCode::Watchdog, ErrorCode::Internal}) {
+        if (name == errorCodeName(code)) {
+            out = code;
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace detail
+{
+
+void
+simErrorImpl(ErrorCode code, const char *file, int line,
+             const std::string &msg)
+{
+    std::ostringstream os;
+    os << "fatal: " << msg << "\n  at " << file << ':' << line;
+    throw SimError(code, os.str());
+}
+
+} // namespace detail
+
+} // namespace gaas

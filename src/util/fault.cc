@@ -1,0 +1,165 @@
+#include "fault.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/env.hh"
+#include "util/error.hh"
+
+namespace gaas::fault
+{
+
+namespace
+{
+
+/** One armed injection: the hit numbers that fail (or all). */
+struct Injection
+{
+    bool always = false;           //!< `point:*`
+    std::vector<std::uint64_t> at; //!< `point:N` hit numbers
+};
+
+struct State
+{
+    std::mutex mutex;
+    std::map<std::string, Injection> armed;
+    std::map<std::string, std::uint64_t> hits;
+    bool envRead = false;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+/**
+ * Fast-path gates: once env_checked is set and nothing is armed,
+ * shouldFail returns in two relaxed loads without the mutex.  Both
+ * are written only under state().mutex.
+ */
+std::atomic<bool> any_armed{false};
+std::atomic<bool> env_checked{false};
+
+/** Parse and arm @p spec; caller holds the lock.  All-or-nothing:
+ *  a malformed spec throws without disturbing the armed set. */
+void
+configureLocked(State &s, std::string_view spec)
+{
+    std::map<std::string, Injection> parsed;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        auto comma = spec.find(',', pos);
+        if (comma == std::string_view::npos)
+            comma = spec.size();
+        const std::string_view item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        const auto colon = item.rfind(':');
+        if (colon == std::string_view::npos || colon == 0 ||
+            colon + 1 == item.size()) {
+            gaas_error(ErrorCode::Config,
+                       "bad fault spec item '", std::string(item),
+                       "' (want point:N or point:*)");
+        }
+        const std::string point(item.substr(0, colon));
+        const std::string_view count = item.substr(colon + 1);
+        Injection &inj = parsed[point];
+        if (count == "*") {
+            inj.always = true;
+        } else if (const auto n = parseU64(count); n && *n > 0) {
+            inj.at.push_back(*n);
+        } else {
+            gaas_error(ErrorCode::Config,
+                       "bad fault spec count '", std::string(count),
+                       "' for point '", point,
+                       "' (want a positive integer or *)");
+        }
+    }
+    s.armed = std::move(parsed);
+    s.hits.clear();
+    any_armed.store(!s.armed.empty(), std::memory_order_relaxed);
+}
+
+/** Lazily fold GAAS_FAULT into the armed set; caller holds lock. */
+void
+readEnvLocked(State &s)
+{
+    if (s.envRead)
+        return;
+    s.envRead = true;
+    if (const char *env = std::getenv("GAAS_FAULT");
+        env && *env && s.armed.empty()) {
+        configureLocked(s, env);
+    }
+    env_checked.store(true, std::memory_order_release);
+}
+
+} // namespace
+
+void
+configure(std::string_view spec)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.envRead = true; // an explicit spec overrides GAAS_FAULT
+    env_checked.store(true, std::memory_order_release);
+    configureLocked(s, spec);
+}
+
+void
+reset()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.armed.clear();
+    s.hits.clear();
+    s.envRead = true;
+    env_checked.store(true, std::memory_order_release);
+    any_armed.store(false, std::memory_order_relaxed);
+}
+
+bool
+enabled()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    readEnvLocked(s);
+    return !s.armed.empty();
+}
+
+bool
+shouldFail(const char *point)
+{
+    // Golden path: nothing armed and GAAS_FAULT already consumed (or
+    // never set) -- two relaxed loads, no lock, no counter.
+    State &s = state();
+    if (!any_armed.load(std::memory_order_relaxed)) {
+        if (env_checked.load(std::memory_order_acquire))
+            return false;
+        std::lock_guard<std::mutex> lock(s.mutex);
+        readEnvLocked(s);
+        if (s.armed.empty())
+            return false;
+    }
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.armed.find(point);
+    if (it == s.armed.end())
+        return false;
+    const std::uint64_t hit = ++s.hits[point];
+    if (it->second.always)
+        return true;
+    for (const std::uint64_t n : it->second.at) {
+        if (n == hit)
+            return true;
+    }
+    return false;
+}
+
+} // namespace gaas::fault

@@ -1,5 +1,18 @@
 #include "file_io.hh"
 
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "util/fault.hh"
+
 namespace gaas::util
 {
 
@@ -61,6 +74,77 @@ fileSizeBytes(std::FILE *file)
     if (seek64(file, here, SEEK_SET) != 0)
         return -1;
     return size;
+}
+
+bool
+writeBytes(std::FILE *file, const void *data, std::size_t size)
+{
+    if (fault::shouldFail("file-write"))
+        return false;
+    return std::fwrite(data, 1, size, file) == size;
+}
+
+bool
+flushAndSync(std::FILE *file)
+{
+    if (fault::shouldFail("file-flush"))
+        return false;
+    if (std::fflush(file) != 0)
+        return false;
+#if defined(_WIN32)
+    return ::_commit(::_fileno(file)) == 0;
+#else
+    return ::fsync(::fileno(file)) == 0;
+#endif
+}
+
+bool
+writeFileAtomic(const std::string &path, std::string_view content,
+                std::string *error)
+{
+    auto fail = [&](const char *step) {
+        if (error) {
+            *error = std::string(step) + " failed for " + path +
+                     " (" + std::strerror(errno) + ")";
+        }
+        return false;
+    };
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (!file)
+        return fail("open");
+    const bool written =
+        writeBytes(file, content.data(), content.size()) &&
+        flushAndSync(file);
+    const bool closed = std::fclose(file) == 0;
+    if (!written || !closed) {
+        std::remove(tmp.c_str());
+        return fail(written ? "close" : "write");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return fail("rename");
+    }
+    return true;
+}
+
+bool
+writeFileAtomicRetry(const std::string &path,
+                     std::string_view content, std::string *error,
+                     unsigned attempts)
+{
+    for (unsigned attempt = 1;; ++attempt) {
+        if (writeFileAtomic(path, content, error))
+            return true;
+        if (attempt >= attempts)
+            return false;
+        // Bounded backoff: 1 ms, 2 ms, 3 ms...; a handful of
+        // milliseconds total even at the attempt cap, so a sweep
+        // point can never hang on a dead filesystem.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(attempt));
+    }
 }
 
 } // namespace gaas::util

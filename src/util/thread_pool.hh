@@ -10,6 +10,16 @@
  * submission order (single FIFO queue) but complete in any order;
  * callers that need ordered results keep the futures in submission
  * order and wait on each in turn.
+ *
+ * Exception safety: a throwing task can never kill a worker or wedge
+ * the pool.  Each task runs inside a std::packaged_task, which
+ * captures any exception into the task's future (rethrown from
+ * future::get() on the caller's thread); the worker loop itself
+ * never sees it.  The destructor still drains every queued task --
+ * including ones queued behind a thrower -- before joining, so no
+ * future is ever abandoned (a dropped packaged_task would surface as
+ * std::future_error(broken_promise) at get()).  test_thread_pool.cc
+ * pins both properties under TSan.
  */
 
 #ifndef GAAS_UTIL_THREAD_POOL_HH

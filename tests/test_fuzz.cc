@@ -6,12 +6,26 @@
  * against corner-case interactions the hand-written timing tests
  * do not enumerate (odd line sizes x policies x bypass modes x
  * split organisations).
+ *
+ * The second half fuzzes the *rejection* paths: mutated config text
+ * and corrupted trace-file headers must either load cleanly or throw
+ * a SimError with the right stable code (config / trace-io) -- never
+ * an unclassified exception, never a crash.
  */
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "core/config.hh"
+#include "core/config_io.hh"
 #include "core/simulator.hh"
+#include "trace/file.hh"
+#include "util/error.hh"
 #include "util/random.hh"
 
 namespace gaas::core
@@ -116,6 +130,309 @@ TEST_P(ConfigFuzz, InvariantsHoldOnRandomConfigs)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz,
                          ::testing::Range<std::uint64_t>(1, 33));
+
+/**
+ * Load @p text, requiring either a clean parse or a structured
+ * rejection: any escape that is not SimError(Config) is a bug in the
+ * parser's error discipline.
+ */
+void
+expectStructuredConfigParse(const std::string &text)
+{
+    std::istringstream in(text);
+    try {
+        const SystemConfig cfg = loadConfig(in);
+        cfg.validate(); // a parse that succeeds is fully valid
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Config)
+            << e.what() << "\ninput:\n"
+            << text;
+    }
+    // Any other exception type propagates and fails the test.
+}
+
+TEST(ConfigTextFuzz, DirectedRejectionsCarryTheConfigCode)
+{
+    // A corpus of known-bad inputs covering every rejection branch
+    // of loadConfig: malformed lines, unknown keys, duplicates, bad
+    // enum/number/boolean values, and semantic validation failures.
+    const char *corpus[] = {
+        "garbage",
+        "key value",
+        "= 4",
+        "unknown.key = 3",
+        "l1i.assoc = x",
+        "l1i.size_words = 99999999999999999999999999",
+        "l1i.size_words = -1",
+        "write_policy = bogus",
+        "l2.org = sideways",
+        "load_bypass = sometimes",
+        "concurrent_i_refill = maybe",
+        "mmu.page_coloring = 2",
+        "l1d.size_words = 1000",       // not a power of two
+        "l1i.line_words = 64",         // beyond the subblock mask
+        "l2.access_time = 0",
+        "time_slice_cycles = 0",
+        "wb.depth = 0",
+        "l1i.assoc = 3",               // lines not divisible
+        "name = a\nname = b",          // duplicate key
+        "l1i.size_words = 4096\nl1i.size_words = 4096",
+    };
+    for (const char *text : corpus) {
+        SCOPED_TRACE(text);
+        std::istringstream in(text);
+        try {
+            loadConfig(in);
+            FAIL() << "input was accepted";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.code(), ErrorCode::Config) << e.what();
+        }
+    }
+}
+
+class ConfigTextFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ConfigTextFuzz, MutatedTextParsesOrRejectsStructurally)
+{
+    Rng rng(GetParam() * 7919);
+
+    // Start from a valid saved config (itself randomized) and apply
+    // a handful of text-level mutations; whatever comes out must hit
+    // the parse-or-structured-reject contract.
+    std::ostringstream os;
+    saveConfig(randomConfig(rng), os);
+    std::string text = os.str();
+
+    const unsigned mutations = 1 + rng.nextBounded(4);
+    for (unsigned m = 0; m < mutations; ++m) {
+        if (text.empty())
+            break;
+        switch (rng.nextBounded(5)) {
+          case 0: { // flip one byte to a random printable char
+            const std::size_t at = rng.nextBounded(text.size());
+            text[at] =
+                static_cast<char>(' ' + rng.nextBounded(95));
+            break;
+          }
+          case 1: { // truncate at a random point
+            text.resize(rng.nextBounded(text.size()));
+            break;
+          }
+          case 2: { // duplicate a random line
+            std::vector<std::string> lines;
+            std::istringstream in(text);
+            for (std::string l; std::getline(in, l);)
+                lines.push_back(l);
+            if (lines.empty())
+                break;
+            const std::size_t at = rng.nextBounded(lines.size());
+            lines.insert(lines.begin() + at, lines[at]);
+            std::string joined;
+            for (const auto &l : lines)
+                joined += l + '\n';
+            text = joined;
+            break;
+          }
+          case 3: // insert a garbage line up front
+            text = "fuzz.noise = " +
+                   std::to_string(rng.nextBounded(1000)) + "\n" +
+                   text;
+            break;
+          case 4: { // delete one character (often an '=' or digit)
+            const std::size_t at = rng.nextBounded(text.size());
+            text.erase(at, 1);
+            break;
+          }
+        }
+    }
+    SCOPED_TRACE(text);
+    expectStructuredConfigParse(text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigTextFuzz,
+                         ::testing::Range<std::uint64_t>(1, 65));
+
+/** A fresh scratch directory under the gtest temp root. */
+std::string
+scratchDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "fuzz-" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** Write a small valid trace file and return its bytes. */
+std::string
+validTraceBytes(const std::string &dir)
+{
+    const std::string path = dir + "/valid.gtrc";
+    {
+        trace::TraceFileWriter writer(path);
+        for (int i = 0; i < 16; ++i) {
+            trace::MemRef ref;
+            ref.addr = 0x1000u + 4u * static_cast<Addr>(i);
+            ref.kind = i % 3 == 0 ? trace::RefKind::Load
+                                  : trace::RefKind::Inst;
+            writer.write(ref);
+        }
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Open (and fully read) @p bytes as a trace file, requiring either
+ * success or SimError(TraceIO).
+ */
+void
+expectStructuredTraceOpen(const std::string &dir,
+                          const std::string &bytes)
+{
+    const std::string path = dir + "/mutant.gtrc";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    try {
+        trace::TraceFileReader reader(path);
+        trace::MemRef ref;
+        while (reader.next(ref)) {
+        }
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::TraceIO) << e.what();
+    }
+}
+
+TEST(TraceHeaderFuzz, DirectedHeaderCorruptions)
+{
+    const std::string dir = scratchDir("trace-directed");
+    const std::string valid = validTraceBytes(dir);
+
+    auto expectTraceIo = [&](std::string bytes) {
+        const std::string path = dir + "/bad.gtrc";
+        {
+            std::ofstream out(path, std::ios::binary);
+            out.write(bytes.data(),
+                      static_cast<std::streamsize>(bytes.size()));
+        }
+        try {
+            trace::TraceFileReader reader(path);
+            trace::MemRef ref;
+            while (reader.next(ref)) {
+            }
+            FAIL() << "corrupt trace was accepted";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.code(), ErrorCode::TraceIO) << e.what();
+        }
+    };
+
+    {
+        std::string bytes = valid; // bad magic
+        bytes[0] = 'X';
+        expectTraceIo(bytes);
+    }
+    {
+        std::string bytes = valid; // version 0 (below minimum)
+        bytes[4] = 0;
+        expectTraceIo(bytes);
+    }
+    {
+        std::string bytes = valid; // version 3 (from the future)
+        bytes[4] = 3;
+        expectTraceIo(bytes);
+    }
+    {
+        std::string bytes = valid; // header promises one extra
+        bytes[8] = static_cast<char>(bytes[8] + 1);
+        expectTraceIo(bytes);
+    }
+    {
+        std::string bytes = valid; // truncated mid-record
+        bytes.resize(bytes.size() - 3);
+        expectTraceIo(bytes);
+    }
+    {
+        std::string bytes = valid; // trailing garbage
+        bytes += "zzz";
+        expectTraceIo(bytes);
+    }
+    expectTraceIo(valid.substr(0, 10)); // truncated header
+    expectTraceIo("");                  // empty file
+    {
+        // Invalid record meta (kind bits = 3) past a valid header:
+        // rejected at next(), still as trace-io.
+        std::string bytes = valid;
+        bytes[16 + 8] = 0x03; // first record's meta byte
+        expectTraceIo(bytes);
+    }
+
+    // A version-1 byte with the same exact-size layout is accepted
+    // and reported as v1 -- the compatibility window stays open.
+    {
+        std::string bytes = valid;
+        bytes[4] = 1;
+        const std::string path = dir + "/v1.gtrc";
+        std::ofstream out(path, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.close();
+        trace::TraceFileReader reader(path);
+        EXPECT_EQ(reader.formatVersion(), 1u);
+        EXPECT_EQ(reader.recordCount(), 16u);
+    }
+}
+
+class TraceHeaderFuzz
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TraceHeaderFuzz, MutatedFilesOpenOrRejectStructurally)
+{
+    Rng rng(GetParam() * 104729);
+    const std::string dir =
+        scratchDir("trace-" + std::to_string(GetParam()));
+    std::string bytes = validTraceBytes(dir);
+
+    const unsigned mutations = 1 + rng.nextBounded(3);
+    for (unsigned m = 0; m < mutations; ++m) {
+        if (bytes.empty())
+            break;
+        switch (rng.nextBounded(4)) {
+          case 0: { // flip a random byte anywhere
+            const std::size_t at = rng.nextBounded(bytes.size());
+            bytes[at] = static_cast<char>(rng.nextBounded(256));
+            break;
+          }
+          case 1: // truncate
+            bytes.resize(rng.nextBounded(bytes.size()));
+            break;
+          case 2: { // append garbage
+            const unsigned extra = 1 + rng.nextBounded(16);
+            for (unsigned i = 0; i < extra; ++i)
+                bytes += static_cast<char>(rng.nextBounded(256));
+            break;
+          }
+          case 3: { // corrupt a header byte specifically
+            const std::size_t at = rng.nextBounded(16);
+            if (at < bytes.size())
+                bytes[at] =
+                    static_cast<char>(rng.nextBounded(256));
+            break;
+          }
+        }
+    }
+    expectStructuredTraceOpen(dir, bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceHeaderFuzz,
+                         ::testing::Range<std::uint64_t>(1, 49));
 
 } // namespace
 } // namespace gaas::core

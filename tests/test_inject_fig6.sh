@@ -1,0 +1,67 @@
+#!/bin/sh
+# Injected-failure acceptance test for per-job fault isolation.
+#
+# Arms GAAS_FAULT=sweep-job:5 so the 5th Fig. 6 point throws inside
+# the sweep, then requires: every other point completes, the failure
+# is reported once with its stable error code, the CSVs carry an
+# explicit failed:<code> cell in both tables, the stats-json dir has
+# a failure record alongside the 27 good dumps, and the binary exits
+# nonzero only after the whole ladder drained.
+#
+# Usage: test_inject_fig6.sh <path-to-fig6_l2_orgs>
+set -u
+
+FIG6="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+export GAAS_BENCH_INSTRUCTIONS=10000
+export GAAS_BENCH_MP=2
+export GAAS_BENCH_JOBS=1
+unset GAAS_BENCH_RESUME GAAS_BENCH_WATCHDOG GAAS_BENCH_PROGRESS \
+      GAAS_BENCH_STATS_DIR 2>/dev/null || true
+
+GAAS_BENCH_CSV_DIR="$WORK/csv" GAAS_FAULT=sweep-job:5 \
+    "$FIG6" --stats-json "$WORK/json" \
+    > "$WORK/run.out" 2>"$WORK/run.err"
+status=$?
+[ "$status" -eq 1 ] || fail "expected exit 1, got $status"
+
+# The failure is reported once, with its code and config name.
+grep -q "failed \[internal\]" "$WORK/run.err" \
+    || fail "stderr does not report the failed point with its code"
+grep -q "injected fault: sweep-job" "$WORK/run.err" \
+    || fail "stderr does not carry the failure message"
+
+# The sweep drained: 28 points, 27 ok, 1 failed.
+grep -q "27 ok, 1 failed" "$WORK/run.out" \
+    || fail "sweep summary does not show 27 ok / 1 failed"
+
+for csv in fig6_l2_cpi.csv table2_l2_miss_ratios.csv; do
+    [ -f "$WORK/csv/$csv" ] || fail "$csv was not written"
+    # Header + 7 size rows: the ladder finished despite the failure.
+    lines=$(wc -l < "$WORK/csv/$csv")
+    [ "$lines" -eq 8 ] || fail "$csv has $lines lines, expected 8"
+    n=$(grep -c "failed:internal" "$WORK/csv/$csv")
+    [ "$n" -eq 1 ] || fail "$csv has $n failed cells, expected 1"
+done
+
+# The stats-json dir reports the failure too: 27 regular dumps plus
+# exactly one failure record carrying the stable code.
+ok_dumps=$(ls "$WORK/json"/*.json | grep -cv '\.failed\.json$')
+[ "$ok_dumps" -eq 27 ] || fail "expected 27 stats dumps, got $ok_dumps"
+failed_dumps=$(ls "$WORK/json"/*.failed.json | wc -l)
+[ "$failed_dumps" -eq 1 ] \
+    || fail "expected 1 failure record, got $failed_dumps"
+grep -q '"code": "internal"' "$WORK/json"/*.failed.json \
+    || fail "failure record does not carry the internal code"
+grep -q '"status": "failed"' "$WORK/json"/*.failed.json \
+    || fail "failure record does not carry the failed status"
+
+echo "ok: injected failure isolated, reported, and exit code is 1"
+exit 0

@@ -18,6 +18,7 @@
 #include "core/sweep.hh"
 #include "core/workload.hh"
 #include "trace/source.hh"
+#include "util/fault.hh"
 
 namespace gaas::core
 {
@@ -256,15 +257,118 @@ TEST(Sweep, ProgressCallbackRunsInSubmissionOrder)
     std::vector<std::string> seen;
     const auto results = runSweep(
         jobs, 4, nullptr,
-        [&seen](std::size_t index, const SimResult &result,
-                const SweepJobStats &) {
+        [&seen](std::size_t index, SweepOutcome &outcome) {
             EXPECT_EQ(index, seen.size());
-            seen.push_back(result.configName);
+            EXPECT_EQ(outcome.status, PointStatus::Ok);
+            seen.push_back(outcome.result.configName);
         });
     ASSERT_EQ(seen.size(), jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i)
         EXPECT_EQ(seen[i], jobs[i].config.name);
     ASSERT_EQ(results.size(), jobs.size());
+}
+
+/** RAII disarm so a failing test cannot leak an armed fault. */
+struct FaultGuard
+{
+    explicit FaultGuard(const char *spec) { fault::configure(spec); }
+    ~FaultGuard() { fault::reset(); }
+};
+
+TEST(Sweep, FailedJobIsIsolatedAndEveryOtherPointCompletes)
+{
+    const auto jobs = ladder();
+    // Fail the 3rd sweep job; serial execution (workers = 1) makes
+    // the process-wide hit counter deterministic.
+    FaultGuard guard("sweep-job:3");
+
+    SweepStats stats;
+    const auto outcomes = runSweepOutcomes(jobs, 1, &stats);
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    EXPECT_EQ(stats.failedPoints, 1u);
+    EXPECT_EQ(stats.okPoints, jobs.size() - 1);
+
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        SCOPED_TRACE(i);
+        if (i == 2) {
+            EXPECT_EQ(outcomes[i].status, PointStatus::Failed);
+            EXPECT_EQ(outcomes[i].errorCode, ErrorCode::Internal);
+            EXPECT_NE(outcomes[i].error.find("injected fault"),
+                      std::string::npos);
+            // Zeroed result, but the config name survives so the
+            // figure row still labels itself.
+            EXPECT_EQ(outcomes[i].result.configName,
+                      jobs[i].config.name);
+            EXPECT_EQ(outcomes[i].result.cycles, 0u);
+        } else {
+            EXPECT_EQ(outcomes[i].status, PointStatus::Ok);
+            EXPECT_GT(outcomes[i].result.cycles, 0u);
+        }
+    }
+}
+
+TEST(Sweep, RunSweepRethrowsTheFirstFailureAfterDraining)
+{
+    const auto jobs = ladder();
+    FaultGuard guard("sweep-job:2");
+    try {
+        runSweep(jobs, 1);
+        FAIL() << "runSweep did not rethrow the failure";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Internal);
+        EXPECT_NE(std::string(e.what()).find("injected fault"),
+                  std::string::npos);
+    }
+}
+
+TEST(Sweep, WatchdogTripsAsAStructuredFailure)
+{
+    // One cycle per instruction is an impossible budget: the very
+    // first instruction (L1 fill from a cold cache) exceeds it, so
+    // the watchdog must convert the runaway into a clean Failed
+    // outcome instead of a wedged run.
+    auto jobs = ladder();
+    jobs.resize(2);
+    jobs[1].watchdogCycles = 1;
+
+    SweepStats stats;
+    const auto outcomes = runSweepOutcomes(jobs, 1, &stats);
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_EQ(outcomes[0].status, PointStatus::Ok);
+    EXPECT_EQ(outcomes[1].status, PointStatus::Failed);
+    EXPECT_EQ(outcomes[1].errorCode, ErrorCode::Watchdog);
+    EXPECT_NE(outcomes[1].error.find("watchdog budget"),
+              std::string::npos);
+    EXPECT_EQ(stats.failedPoints, 1u);
+}
+
+TEST(Sweep, GenerousWatchdogBudgetChangesNothing)
+{
+    auto jobs = ladder();
+    jobs.resize(2);
+    const auto plain = runSweep(jobs, 1);
+    for (auto &job : jobs)
+        job.watchdogCycles = 1'000'000;
+    const auto watched = runSweep(jobs, 1);
+    ASSERT_EQ(watched.size(), plain.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectSameResult(watched[i], plain[i]);
+    }
+}
+
+TEST(Sweep, PointStatusNamesRoundTrip)
+{
+    for (PointStatus status : {PointStatus::Ok, PointStatus::Failed,
+                               PointStatus::Degraded}) {
+        PointStatus parsed;
+        ASSERT_TRUE(parsePointStatus(pointStatusName(status),
+                                     parsed));
+        EXPECT_EQ(parsed, status);
+    }
+    PointStatus ignored;
+    EXPECT_FALSE(parsePointStatus("nonsense", ignored));
+    EXPECT_FALSE(parsePointStatus("", ignored));
 }
 
 } // namespace

@@ -1,18 +1,25 @@
 /**
  * @file
- * Unit tests for util: bit operations, logging, the PRNG, and the
- * fractional cycle accumulator.
+ * Unit tests for util: bit operations, logging, the PRNG, the
+ * fractional cycle accumulator, the structured error model, fault
+ * injection, and atomic file publication.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <set>
+#include <sstream>
 
 #include "util/bitops.hh"
 #include "util/env.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
+#include "util/file_io.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/types.hh"
@@ -283,6 +290,185 @@ TEST(Env, EnvU64FallsBackOnBadValues)
     ::setenv(name, "0", 1); // zero is rejected: knobs are positive
     EXPECT_EQ(envU64(name, 17), 17u);
     ::unsetenv(name);
+}
+
+TEST(Error, CodeNamesRoundTripAndAreStable)
+{
+    // The wire names are part of the public contract (journal
+    // records, CSV "failed:<code>" cells); pin them literally.
+    EXPECT_STREQ(errorCodeName(ErrorCode::Config), "config");
+    EXPECT_STREQ(errorCodeName(ErrorCode::TraceIO), "trace-io");
+    EXPECT_STREQ(errorCodeName(ErrorCode::StatsIO), "stats-io");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Watchdog), "watchdog");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
+
+    for (ErrorCode code :
+         {ErrorCode::Config, ErrorCode::TraceIO, ErrorCode::StatsIO,
+          ErrorCode::Watchdog, ErrorCode::Internal}) {
+        ErrorCode parsed;
+        ASSERT_TRUE(parseErrorCode(errorCodeName(code), parsed));
+        EXPECT_EQ(parsed, code);
+    }
+    ErrorCode ignored;
+    EXPECT_FALSE(parseErrorCode("no-such-code", ignored));
+    EXPECT_FALSE(parseErrorCode("", ignored));
+}
+
+TEST(Error, GaasErrorFormatsLikeGaasFatal)
+{
+    try {
+        gaas_error(ErrorCode::TraceIO, "went ", 42, " wrong");
+        FAIL() << "gaas_error did not throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::TraceIO);
+        EXPECT_STREQ(e.codeName(), "trace-io");
+        const std::string what = e.what();
+        EXPECT_NE(what.find("fatal: went 42 wrong"),
+                  std::string::npos);
+        EXPECT_NE(what.find("test_util.cc"), std::string::npos);
+    }
+    // SimError is a FatalError: existing handlers keep working.
+    EXPECT_THROW(gaas_error(ErrorCode::Internal, "x"), FatalError);
+}
+
+/** Disarm on scope exit so a failing test cannot leak a fault. */
+struct FaultGuard
+{
+    FaultGuard() = default;
+    ~FaultGuard() { fault::reset(); }
+};
+
+TEST(Fault, DisarmedByDefaultAndAfterReset)
+{
+    FaultGuard guard;
+    fault::reset();
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_FALSE(fault::shouldFail("file-write"));
+
+    fault::configure("file-write:1");
+    EXPECT_TRUE(fault::enabled());
+    fault::reset();
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_FALSE(fault::shouldFail("file-write"));
+}
+
+TEST(Fault, NthHitSemantics)
+{
+    FaultGuard guard;
+    fault::configure("pt:2,pt:4");
+    EXPECT_FALSE(fault::shouldFail("pt")); // hit 1
+    EXPECT_TRUE(fault::shouldFail("pt"));  // hit 2
+    EXPECT_FALSE(fault::shouldFail("pt")); // hit 3
+    EXPECT_TRUE(fault::shouldFail("pt"));  // hit 4
+    EXPECT_FALSE(fault::shouldFail("pt")); // hit 5
+    // Another point has its own counter and no armed entries.
+    EXPECT_FALSE(fault::shouldFail("other"));
+
+    // configure() replaces the spec and zeroes the counters.
+    fault::configure("pt:1");
+    EXPECT_TRUE(fault::shouldFail("pt"));
+    EXPECT_FALSE(fault::shouldFail("pt"));
+}
+
+TEST(Fault, StarFailsEveryHit)
+{
+    FaultGuard guard;
+    fault::configure("pt:*");
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(fault::shouldFail("pt"));
+    EXPECT_FALSE(fault::shouldFail("other"));
+}
+
+TEST(Fault, MalformedSpecIsAConfigError)
+{
+    FaultGuard guard;
+    for (const char *bad :
+         {"nocolon", "pt:", "pt:0", "pt:x", "pt:1x", ":3",
+          "pt:-2"}) {
+        SCOPED_TRACE(bad);
+        try {
+            fault::configure(bad);
+            FAIL() << "spec accepted";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.code(), ErrorCode::Config);
+        }
+        // A rejected spec must not leave anything half-armed.
+        EXPECT_FALSE(fault::enabled());
+    }
+    // The empty spec simply disarms.
+    fault::configure("");
+    EXPECT_FALSE(fault::enabled());
+}
+
+/** A fresh scratch directory under the gtest temp root. */
+std::string
+scratchDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "fileio-" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(FileIo, WriteFileAtomicPublishesAllOrNothing)
+{
+    const std::string dir = scratchDir("atomic");
+    const std::string path = dir + "/out.txt";
+
+    std::string error;
+    ASSERT_TRUE(util::writeFileAtomic(path, "first\n", &error))
+        << error;
+    EXPECT_EQ(slurp(path), "first\n");
+    // No temp residue after success.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    // A failed write leaves the previous content untouched and
+    // cleans up its temp file.
+    FaultGuard guard;
+    fault::configure("file-write:1");
+    EXPECT_FALSE(util::writeFileAtomic(path, "second\n", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(slurp(path), "first\n");
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(FileIo, WriteFileAtomicReportsUnreachablePaths)
+{
+    const std::string dir = scratchDir("noent");
+    std::string error;
+    EXPECT_FALSE(util::writeFileAtomic(dir + "/no/such/dir/x", "a",
+                                       &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(FileIo, RetrySucceedsAfterTransientFault)
+{
+    const std::string dir = scratchDir("retry");
+    const std::string path = dir + "/out.txt";
+
+    // First attempt fails (injected), second succeeds: the bounded
+    // retry absorbs the transient.
+    FaultGuard guard;
+    fault::configure("file-write:1");
+    std::string error;
+    EXPECT_TRUE(util::writeFileAtomicRetry(path, "ok\n", &error));
+    EXPECT_EQ(slurp(path), "ok\n");
+
+    // Every attempt failing gives up with the error set.
+    fault::configure("file-write:*");
+    EXPECT_FALSE(
+        util::writeFileAtomicRetry(path, "nope\n", &error, 3));
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(slurp(path), "ok\n");
 }
 
 } // namespace

@@ -41,6 +41,7 @@
 #include "core/simulator.hh"
 #include "core/stats_dump.hh"
 #include "obs/json.hh"
+#include "util/file_io.hh"
 #include "util/logging.hh"
 
 namespace
@@ -321,10 +322,13 @@ main(int argc, char **argv)
                 goldenDir + "/" + point.name + ".stats";
             const std::string actual = runPoint(point);
             if (bless) {
-                std::ofstream out(path, std::ios::binary);
-                if (!out || !(out << actual)) {
-                    std::cerr << "goldencheck: cannot write " << path
-                              << '\n';
+                // Atomic publication: a bless interrupted mid-write
+                // must never leave a truncated golden file that a
+                // later check would "pass" against.
+                std::string error;
+                if (!util::writeFileAtomicRetry(path, actual,
+                                                &error)) {
+                    std::cerr << "goldencheck: " << error << '\n';
                     return 1;
                 }
                 std::cout << "blessed " << point.name << " -> "
