@@ -38,6 +38,9 @@ Options options;
 /** Finished points so far, process-wide (JSON filename prefix). */
 std::size_t pointCounter = 0;
 
+/** Finished sweeps so far, process-wide (sweep-NNN.json prefix). */
+std::size_t sweepCounter = 0;
+
 /** Failed points so far, process-wide (drives exitCode()). */
 std::size_t failedPoints = 0;
 
@@ -367,6 +370,77 @@ Sweep::addScaled(const core::SystemConfig &config, unsigned factor)
     return jobs.size() - 1;
 }
 
+namespace
+{
+
+/**
+ * Write `<statsJsonDir()>/sweep-NNN.json`: the sweep-level telemetry
+ * (wall clock, dispositions, arena activity) next to the per-point
+ * dumps.  Timings and arena hit counts are host-dependent, so resume
+ * comparisons must exclude these files (tests diff with
+ * `-x 'sweep-*.json'`).  A failed write only warns -- the sweep's
+ * simulation results are untouched.
+ */
+void
+dumpSweepStats(const core::SweepStats &stats)
+{
+    const std::string dir = statsJsonDir();
+    if (dir.empty() || options.statsDirBroken)
+        return;
+    const std::size_t sweep = sweepCounter++;
+
+    auto num = [](double v) { return obs::JsonValue::number(v); };
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.members.emplace_back(
+        "jobs", num(static_cast<double>(stats.jobs)));
+    doc.members.emplace_back(
+        "workers", num(static_cast<double>(stats.workers)));
+    doc.members.emplace_back("wall_seconds",
+                             num(stats.wallSeconds));
+    doc.members.emplace_back(
+        "references", num(static_cast<double>(stats.references)));
+    doc.members.emplace_back("refs_per_second",
+                             num(stats.refsPerSecond()));
+    doc.members.emplace_back(
+        "ok_points", num(static_cast<double>(stats.okPoints)));
+    doc.members.emplace_back(
+        "failed_points",
+        num(static_cast<double>(stats.failedPoints)));
+    doc.members.emplace_back(
+        "degraded_points",
+        num(static_cast<double>(stats.degradedPoints)));
+    doc.members.emplace_back(
+        "reused_points",
+        num(static_cast<double>(stats.reusedPoints)));
+
+    obs::JsonValue arena = obs::JsonValue::object();
+    arena.members.emplace_back(
+        "streams_generated",
+        num(static_cast<double>(stats.arenaStreamsGenerated)));
+    arena.members.emplace_back(
+        "streams_reused",
+        num(static_cast<double>(stats.arenaStreamsReused)));
+    arena.members.emplace_back(
+        "refs_generated",
+        num(static_cast<double>(stats.arenaRefsGenerated)));
+    arena.members.emplace_back("gen_seconds",
+                               num(stats.arenaGenSeconds));
+    arena.members.emplace_back(
+        "bytes", num(static_cast<double>(stats.arenaBytes)));
+    doc.members.emplace_back("arena", std::move(arena));
+
+    std::ostringstream name;
+    name << "sweep-" << std::setw(3) << std::setfill('0') << sweep
+         << ".json";
+    std::string error;
+    if (!util::writeFileAtomicRetry(dir + "/" + name.str(),
+                                    obs::writeJsonString(doc),
+                                    &error))
+        warn("sweep stats dump: ", error);
+}
+
+} // namespace
+
 std::vector<core::SweepOutcome>
 Sweep::run()
 {
@@ -404,8 +478,18 @@ Sweep::run()
               << stats.refsPerSecond() << " refs/s aggregate; "
               << stats.okPoints << " ok, " << stats.failedPoints
               << " failed, " << stats.degradedPoints
-              << " degraded, " << stats.reusedPoints << " reused]\n"
-              << std::defaultfloat << '\n';
+              << " degraded, " << stats.reusedPoints << " reused";
+    if (stats.arenaStreamsGenerated + stats.arenaStreamsReused > 0) {
+        std::cout << "; arena " << stats.arenaStreamsGenerated
+                  << " gen / " << stats.arenaStreamsReused
+                  << " reused, " << std::setprecision(1)
+                  << static_cast<double>(stats.arenaBytes) /
+                         (1024.0 * 1024.0)
+                  << " MB, " << std::setprecision(2)
+                  << stats.arenaGenSeconds << " s gen";
+    }
+    std::cout << "]\n" << std::defaultfloat << '\n';
+    dumpSweepStats(stats);
     return outcomes;
 }
 

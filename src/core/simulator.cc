@@ -189,7 +189,10 @@ SimResult
 runStandard(const SystemConfig &config, Count total_instructions,
             unsigned mp_level, Count warmup_instructions)
 {
-    Simulator sim(config, Workload::standard(mp_level));
+    Simulator sim(config,
+                  Workload::standard(mp_level,
+                                     warmup_instructions +
+                                         total_instructions));
     return sim.run(total_instructions, warmup_instructions);
 }
 

@@ -9,6 +9,7 @@
 
 #include "core/journal.hh"
 #include "obs/metrics.hh"
+#include "trace/arena.hh"
 #include "util/env.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
@@ -72,6 +73,10 @@ runSweepJob(const SweepJob &job, SweepJobStats *stats)
 {
     SweepJobStats local;
     const obs::Stopwatch total;
+    // The arena attributes its work to threads; zeroing this thread's
+    // slice here scopes the tally to exactly this job (workload build
+    // plus any grow-on-demand during the run).
+    trace::TraceArena::resetThreadTally();
     SimResult result;
     {
         // The simulator is built inside the build phase and run in
@@ -80,9 +85,12 @@ runSweepJob(const SweepJob &job, SweepJobStats *stats)
         std::optional<Simulator> sim;
         {
             obs::ScopedTimer timer(local.buildSeconds);
-            Workload workload = job.workload
-                                    ? job.workload()
-                                    : Workload::standard(job.mpLevel);
+            Workload workload =
+                job.workload
+                    ? job.workload()
+                    : Workload::standard(
+                          job.mpLevel,
+                          job.warmup + job.instructions);
             sim.emplace(job.config, std::move(workload));
             sim->setWatchdogCycles(job.watchdogCycles);
         }
@@ -91,10 +99,15 @@ runSweepJob(const SweepJob &job, SweepJobStats *stats)
             result = sim->run(job.instructions, job.warmup);
         }
     }
+    const trace::ArenaTally tally = trace::TraceArena::threadTally();
     if (stats) {
         stats->buildSeconds = local.buildSeconds;
         stats->simSeconds = local.simSeconds;
         stats->totalSeconds = total.seconds();
+        stats->arenaStreamsGenerated = tally.streamsGenerated;
+        stats->arenaStreamsReused = tally.streamsReused;
+        stats->arenaRefsGenerated = tally.refsGenerated;
+        stats->arenaGenSeconds = tally.genSeconds;
     }
     return result;
 }
@@ -265,6 +278,17 @@ runSweepOutcomes(const std::vector<SweepJob> &jobs, unsigned workers,
             if (out.reused)
                 ++stats->reusedPoints;
         }
+        stats->arenaStreamsGenerated = 0;
+        stats->arenaStreamsReused = 0;
+        stats->arenaRefsGenerated = 0;
+        stats->arenaGenSeconds = 0.0;
+        for (const auto &js : job_stats) {
+            stats->arenaStreamsGenerated += js.arenaStreamsGenerated;
+            stats->arenaStreamsReused += js.arenaStreamsReused;
+            stats->arenaRefsGenerated += js.arenaRefsGenerated;
+            stats->arenaGenSeconds += js.arenaGenSeconds;
+        }
+        stats->arenaBytes = trace::TraceArena::global().totalBytes();
         stats->perJob = std::move(job_stats);
     }
     return outcomes;

@@ -94,6 +94,18 @@ struct SweepJobStats
     /** Which pool worker ran the job (0 on the serial path).
      *  Worker indices are dense, assigned in first-job order. */
     unsigned worker = 0;
+
+    /** @name Trace-arena activity attributed to this job
+     *  Streams this job materialized first vs. found already cached,
+     *  references it generated into the arena (grow-on-demand during
+     *  the run included), and the host seconds that generation took.
+     *  All zero with GAAS_BENCH_ARENA=0. */
+    ///@{
+    std::uint64_t arenaStreamsGenerated = 0;
+    std::uint64_t arenaStreamsReused = 0;
+    std::uint64_t arenaRefsGenerated = 0;
+    double arenaGenSeconds = 0.0;
+    ///@}
 };
 
 /**
@@ -139,6 +151,20 @@ struct SweepStats
     std::size_t failedPoints = 0;
     std::size_t degradedPoints = 0; //!< subset of okPoints
     std::size_t reusedPoints = 0;   //!< subset of okPoints
+    ///@}
+
+    /** @name Trace-arena totals for this sweep
+     *  Sums of the per-job arena counters, plus the arena's packed
+     *  byte footprint at sweep end (a process-wide snapshot, not a
+     *  per-sweep delta).  A healthy sweep shows streamsGenerated ==
+     *  the distinct (spec, mp) streams and streamsReused for every
+     *  other point. */
+    ///@{
+    std::uint64_t arenaStreamsGenerated = 0;
+    std::uint64_t arenaStreamsReused = 0;
+    std::uint64_t arenaRefsGenerated = 0;
+    double arenaGenSeconds = 0.0;
+    std::size_t arenaBytes = 0;
     ///@}
 
     /** Per-job telemetry, in submission order. */

@@ -1,10 +1,46 @@
 #include "workload.hh"
 
+#include <string>
+
+#include "synth/benchmark.hh"
+#include "trace/arena.hh"
 #include "trace/compose.hh"
 #include "util/logging.hh"
 
 namespace gaas::core
 {
+
+namespace
+{
+
+/**
+ * Estimate how many references process @p i of @p specs consumes in
+ * a run of @p total_instr instructions.  The scheduler is
+ * cycle-driven round robin, so a process's instruction share is
+ * proportional to its speed, 1/baseCpi; references per instruction
+ * are 1 (Inst) + loadFrac + storeFrac.  30% slack covers scheduling
+ * skew and cache-stall imbalance; underestimates only cost a second
+ * growth step (grow-on-demand), never correctness.
+ */
+std::size_t
+refHint(const std::vector<synth::BenchmarkSpec> &specs,
+        std::size_t i, Count total_instr)
+{
+    if (total_instr == 0)
+        return 0;
+    double invSum = 0.0;
+    for (const auto &s : specs)
+        invSum += 1.0 / s.baseCpi;
+    const auto &spec = specs[i];
+    const double share = (1.0 / spec.baseCpi) / invSum;
+    const double instr =
+        share * static_cast<double>(total_instr);
+    const double refs =
+        instr * (1.0 + spec.loadFrac + spec.storeFrac) * 1.3;
+    return static_cast<std::size_t>(refs);
+}
+
+} // namespace
 
 Workload
 Workload::fromSpecs(const std::vector<synth::BenchmarkSpec> &specs,
@@ -23,9 +59,37 @@ Workload::fromSpecs(const std::vector<synth::BenchmarkSpec> &specs,
 }
 
 Workload
-Workload::standard(unsigned mp_level)
+Workload::standard(unsigned mp_level, Count instr_hint)
 {
-    return fromSpecs(synth::workloadSpecs(mp_level));
+    const std::vector<synth::BenchmarkSpec> specs =
+        synth::workloadSpecs(mp_level);
+    if (!trace::TraceArena::enabledByEnv())
+        return fromSpecs(specs);
+
+    // Arena path: each process replays a shared materialized stream
+    // instead of running its own generator.  The key includes the mp
+    // level and stream index so a stream is exactly "process i of the
+    // level-N workload"; LoopSource supplies the same wrap semantics
+    // as the per-process generator path.
+    Workload wl;
+    auto &arena = trace::TraceArena::global();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const synth::BenchmarkSpec &spec = specs[i];
+        const std::string key = synth::specDigest(spec) + ":" +
+                                std::to_string(mp_level) + ":" +
+                                std::to_string(i);
+        // One Inst plus at most one data record per instruction.
+        const std::size_t bound =
+            2 * static_cast<std::size_t>(spec.simInstructions);
+        trace::ArenaStream *stream = arena.acquire(
+            key, bound, refHint(specs, i, instr_hint),
+            [spec] { return synth::makeBenchmark(spec); });
+        auto view = std::make_unique<trace::ArenaSource>(
+            stream, spec.name + "[arena]");
+        wl.add(std::make_unique<trace::LoopSource>(std::move(view)),
+               spec.baseCpi, spec.name);
+    }
+    return wl;
 }
 
 void

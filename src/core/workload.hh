@@ -55,8 +55,20 @@ class Workload
     /**
      * The standard workload of the paper's experiments: the first
      * @p mp_level suite benchmarks (Section 3 settles on level 8).
+     *
+     * By default the processes replay shared streams from the global
+     * TraceArena, so a sweep materializes each benchmark's reference
+     * stream once instead of re-running the generators per point;
+     * `GAAS_BENCH_ARENA=0` restores per-process generators.  Either
+     * way the streams are bit-identical.
+     *
+     * @param instr_hint the run's total instruction budget (warmup
+     *        included), used to pre-size arena streams so the first
+     *        job generates in one pass instead of doubling up to the
+     *        high-water mark; 0 defers generation to first read
      */
-    static Workload standard(unsigned mp_level = 8);
+    static Workload standard(unsigned mp_level = 8,
+                             Count instr_hint = 0);
 
     /** Add one process (PID = current process count). */
     void add(std::unique_ptr<trace::TraceSource> source,

@@ -1,6 +1,8 @@
 #include "benchmark.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <type_traits>
 
 #include "util/logging.hh"
 
@@ -153,6 +155,100 @@ std::unique_ptr<trace::TraceSource>
 makeBenchmark(const BenchmarkSpec &spec)
 {
     return std::make_unique<SyntheticBenchmark>(spec);
+}
+
+namespace
+{
+
+/** FNV-1a over every spec field (same idiom as core/journal). */
+class SpecHash
+{
+  public:
+    void bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash ^= p[i];
+            hash *= 0x0000'0100'0000'01b3ull;
+        }
+    }
+
+    void str(const std::string &s)
+    {
+        const std::uint64_t len = s.size();
+        bytes(&len, sizeof(len));
+        bytes(s.data(), s.size());
+    }
+
+    template <typename T> void pod(T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        bytes(&v, sizeof(v));
+    }
+
+    std::uint64_t value() const { return hash; }
+
+  private:
+    std::uint64_t hash = 0xcbf2'9ce4'8422'2325ull;
+};
+
+} // namespace
+
+std::string
+specDigest(const BenchmarkSpec &spec)
+{
+    SpecHash h;
+    h.str(spec.name);
+    h.str(spec.description);
+    h.pod(static_cast<std::uint8_t>(spec.lang));
+    h.pod(static_cast<std::uint8_t>(spec.arith));
+    h.pod(spec.paperInstructionsM);
+    h.pod(spec.simInstructions);
+    h.pod(spec.loadFrac);
+    h.pod(spec.storeFrac);
+    h.pod(spec.syscallsPerMInstr);
+    h.pod(spec.baseCpi);
+
+    const CodeParams &c = spec.code;
+    h.pod(c.codeWords);
+    h.pod(c.procCount);
+    h.pod(c.meanRunLen);
+    h.pod(c.maxLoopDepth);
+    h.pod(c.meanLoopIters);
+    h.pod(c.loopProb);
+    h.pod(c.callProb);
+    h.pod(c.callZipfAlpha);
+    h.pod(c.jumpProb);
+    h.pod(c.jumpZipfAlpha);
+
+    const DataParams &d = spec.data;
+    h.pod(d.stackWords);
+    h.pod(d.globalWords);
+    h.pod(d.heapWords);
+    h.pod(d.arrayWords);
+    h.pod(d.arrayCount);
+    h.pod(d.loadStackFrac);
+    h.pod(d.loadGlobalFrac);
+    h.pod(d.loadArrayFrac);
+    h.pod(d.storeStackFrac);
+    h.pod(d.storeGlobalFrac);
+    h.pod(d.storeArrayFrac);
+    h.pod(d.globalAlpha);
+    h.pod(d.heapAlpha);
+    h.pod(d.arrayStrideWords);
+    h.pod(d.arraySegWords);
+    h.pod(d.arraySegRepeats);
+    h.pod(d.heapLineWords);
+    h.pod(d.partialWordStoreFrac);
+    h.pod(d.storeBurstMean);
+    h.pod(d.sameLineBurstProb);
+
+    h.pod(spec.seed);
+
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h.value()));
+    return buf;
 }
 
 } // namespace gaas::synth

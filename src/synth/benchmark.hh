@@ -132,6 +132,14 @@ class SyntheticBenchmark : public trace::TraceSource
 std::unique_ptr<trace::TraceSource>
 makeBenchmark(const BenchmarkSpec &spec);
 
+/**
+ * Stable hex digest over every field of @p spec (model parameters,
+ * seed, budgets).  Two specs with the same digest produce the same
+ * reference stream, which is what makes it a safe cache key for the
+ * trace arena.
+ */
+std::string specDigest(const BenchmarkSpec &spec);
+
 } // namespace gaas::synth
 
 #endif // GAAS_SYNTH_BENCHMARK_HH

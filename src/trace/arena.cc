@@ -1,0 +1,368 @@
+#include "arena.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace gaas::trace
+{
+
+namespace
+{
+
+/**
+ * Packed reference layout, 4 bytes per record:
+ *
+ *   bits [31:3]  word index (byte address >> 2)
+ *   bits [2:1]   RefKind
+ *   bit  [0]     syscall (Inst) / partialWord (Store)
+ *
+ * Every address the synthetic models emit is word aligned and below
+ * 2^31 (layout::kStackTop = 0x7fff'0000 is the ceiling), so the
+ * word index fits the 29 bits exactly.  The flag bit is shared:
+ * syscall is only meaningful on Inst records and partialWord only on
+ * Store records, which packRef() checks.
+ */
+std::uint32_t
+packRef(const MemRef &ref)
+{
+    const bool flag = ref.syscall || ref.partialWord;
+    if ((ref.addr & 3) != 0 || (ref.addr >> 31) != 0 ||
+        (ref.syscall && !ref.isInst()) ||
+        (ref.partialWord && !ref.isStore())) {
+        gaas_error(ErrorCode::Internal,
+                   "trace arena cannot pack reference (addr 0x",
+                   ref.addr, ", kind ", refKindName(ref.kind),
+                   "); only word-aligned sub-2^31 streams are "
+                   "arena-able -- set GAAS_BENCH_ARENA=0");
+    }
+    return static_cast<std::uint32_t>(ref.addr >> 2) << 3 |
+           static_cast<std::uint32_t>(ref.kind) << 1 |
+           static_cast<std::uint32_t>(flag);
+}
+
+MemRef
+unpackRef(std::uint32_t word)
+{
+    MemRef ref;
+    ref.addr = static_cast<Addr>(word >> 3) << 2;
+    ref.kind = static_cast<RefKind>((word >> 1) & 3u);
+    const bool flag = (word & 1u) != 0;
+    ref.syscall = flag && ref.kind == RefKind::Inst;
+    ref.partialWord = flag && ref.kind == RefKind::Store;
+    return ref;
+}
+
+constexpr std::size_t kUnknownPassLen =
+    std::numeric_limits<std::size_t>::max();
+
+/** Generator pull size per iteration of the growth loop. */
+constexpr std::size_t kGenChunk = std::size_t{1} << 16;
+
+/** Global + thread-local tally counters. */
+struct GlobalTally
+{
+    std::atomic<std::uint64_t> streamsGenerated{0};
+    std::atomic<std::uint64_t> streamsReused{0};
+    std::atomic<std::uint64_t> refsGenerated{0};
+    std::atomic<std::uint64_t> genNanos{0};
+};
+
+GlobalTally globalTally;
+
+thread_local ArenaTally threadTallySlice;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+ArenaStream::ArenaStream(
+    std::string key, std::size_t pass_ref_bound,
+    std::function<std::unique_ptr<TraceSource>()> factory_)
+    : streamKey(std::move(key)), passRefBound(pass_ref_bound),
+      blockCount(pass_ref_bound / kBlockRefs + 1),
+      blocks(blockCount), passLen(kUnknownPassLen),
+      factory(std::move(factory_))
+{
+    if (passRefBound == 0)
+        gaas_fatal("ArenaStream requires a nonzero pass bound");
+    if (!factory)
+        gaas_fatal("ArenaStream requires a generator factory");
+}
+
+ArenaStream::~ArenaStream()
+{
+    for (auto &slot : blocks)
+        delete[] slot.load(std::memory_order_relaxed);
+}
+
+std::size_t
+ArenaStream::passRefs() const
+{
+    const std::size_t len = passLen.load(std::memory_order_acquire);
+    return len == kUnknownPassLen ? 0 : len;
+}
+
+std::size_t
+ArenaStream::bytes() const
+{
+    return allocatedBytes.load(std::memory_order_relaxed);
+}
+
+void
+ArenaStream::append(const MemRef *refs, std::size_t n)
+{
+    std::size_t pos = total;
+    for (std::size_t i = 0; i < n; ++i, ++pos) {
+        const std::size_t block = pos / kBlockRefs;
+        if (block >= blockCount) {
+            gaas_error(ErrorCode::Internal, "trace arena stream '",
+                       streamKey, "' exceeded its pass bound of ",
+                       passRefBound, " references");
+        }
+        std::uint32_t *data =
+            blocks[block].load(std::memory_order_relaxed);
+        if (!data) {
+            data = new std::uint32_t[kBlockRefs];
+            blocks[block].store(data, std::memory_order_relaxed);
+            allocatedBytes.fetch_add(
+                kBlockRefs * sizeof(std::uint32_t),
+                std::memory_order_relaxed);
+        }
+        data[pos % kBlockRefs] = packRef(refs[i]);
+    }
+    total += n;
+}
+
+void
+ArenaStream::ensure(std::size_t want)
+{
+    want = std::min(want, passRefBound);
+    if (published.load(std::memory_order_acquire) >= want)
+        return;
+    if (passLen.load(std::memory_order_acquire) != kUnknownPassLen)
+        return;
+
+    std::lock_guard<std::mutex> lock(growMutex);
+    if (done || total >= want)
+        return;
+
+    const auto start = std::chrono::steady_clock::now();
+    if (!generatorMade) {
+        generator = factory();
+        generatorMade = true;
+        if (!generator)
+            gaas_fatal("ArenaStream factory returned null for '",
+                       streamKey, "'");
+    }
+
+    // Geometric high-water-mark growth: generate at least a doubling
+    // (floored at kMinChunk) so a consumer reading batch-by-batch
+    // amortizes the mutex and the generator's loop preamble.
+    const std::size_t target = std::min(
+        std::max({want, total * 2, kMinChunk}), passRefBound);
+
+    const std::size_t before = total;
+    std::vector<MemRef> scratch(std::min(kGenChunk, target));
+    while (total < target) {
+        const std::size_t ask =
+            std::min(scratch.size(), target - total);
+        const std::size_t got =
+            generator->nextBatch(scratch.data(), ask);
+        append(scratch.data(), got);
+        if (got < ask) {
+            // The generator's pass ended: freeze the length and drop
+            // the generator (replays come from the blocks).
+            passLen.store(total, std::memory_order_release);
+            generator.reset();
+            done = true;
+            break;
+        }
+    }
+    if (!done && total >= passRefBound) {
+        // Landed exactly on the bound: probe for the pass end so a
+        // reader at the bound cannot spin on an unknown pass length.
+        MemRef probe;
+        if (generator->nextBatch(&probe, 1) != 0) {
+            gaas_error(ErrorCode::Internal, "trace arena stream '",
+                       streamKey, "' exceeded its pass bound of ",
+                       passRefBound, " references");
+        }
+        passLen.store(total, std::memory_order_release);
+        generator.reset();
+        done = true;
+    }
+    published.store(total, std::memory_order_release);
+
+    const std::uint64_t generated = total - before;
+    const double seconds = secondsSince(start);
+    globalTally.refsGenerated.fetch_add(generated,
+                                        std::memory_order_relaxed);
+    globalTally.genNanos.fetch_add(
+        static_cast<std::uint64_t>(seconds * 1e9),
+        std::memory_order_relaxed);
+    threadTallySlice.refsGenerated += generated;
+    threadTallySlice.genSeconds += seconds;
+}
+
+std::size_t
+ArenaStream::read(std::size_t pos, MemRef *out, std::size_t n)
+{
+    std::size_t produced = 0;
+    while (produced < n) {
+        const std::size_t pub =
+            published.load(std::memory_order_acquire);
+        if (pos < pub) {
+            std::size_t take = std::min(n - produced, pub - pos);
+            while (take > 0) {
+                const std::size_t block = pos / kBlockRefs;
+                const std::size_t off = pos % kBlockRefs;
+                const std::size_t run =
+                    std::min(take, kBlockRefs - off);
+                const std::uint32_t *data =
+                    blocks[block].load(std::memory_order_relaxed);
+                for (std::size_t i = 0; i < run; ++i)
+                    out[produced + i] = unpackRef(data[off + i]);
+                produced += run;
+                pos += run;
+                take -= run;
+            }
+            continue;
+        }
+        // pos == pub: either the pass is over or the stream must
+        // grow.  ensure() guarantees progress: on return either the
+        // published length or the pass length has advanced past pos.
+        if (passLen.load(std::memory_order_acquire) == pub)
+            break;
+        ensure(pos + (n - produced));
+    }
+    return produced;
+}
+
+TraceArena &
+TraceArena::global()
+{
+    static TraceArena arena;
+    return arena;
+}
+
+bool
+TraceArena::enabledByEnv()
+{
+    const char *env = std::getenv("GAAS_BENCH_ARENA");
+    return !(env && std::string_view(env) == "0");
+}
+
+ArenaStream *
+TraceArena::acquire(
+    const std::string &key, std::size_t pass_ref_bound,
+    std::size_t ref_hint,
+    std::function<std::unique_ptr<TraceSource>()> factory)
+{
+    ArenaStream *stream = nullptr;
+    bool created = false;
+    {
+        std::lock_guard<std::mutex> lock(mapMutex);
+        auto it = streams.find(key);
+        if (it == streams.end()) {
+            it = streams
+                     .emplace(key, std::make_unique<ArenaStream>(
+                                       key, pass_ref_bound,
+                                       std::move(factory)))
+                     .first;
+            created = true;
+        }
+        stream = it->second.get();
+    }
+    if (created) {
+        globalTally.streamsGenerated.fetch_add(
+            1, std::memory_order_relaxed);
+        ++threadTallySlice.streamsGenerated;
+    } else {
+        globalTally.streamsReused.fetch_add(
+            1, std::memory_order_relaxed);
+        ++threadTallySlice.streamsReused;
+    }
+    if (ref_hint > 0)
+        stream->ensure(ref_hint);
+    return stream;
+}
+
+std::size_t
+TraceArena::streamCount() const
+{
+    std::lock_guard<std::mutex> lock(mapMutex);
+    return streams.size();
+}
+
+std::size_t
+TraceArena::totalBytes() const
+{
+    std::lock_guard<std::mutex> lock(mapMutex);
+    std::size_t bytes = 0;
+    for (const auto &entry : streams)
+        bytes += entry.second->bytes();
+    return bytes;
+}
+
+ArenaTally
+TraceArena::totals()
+{
+    ArenaTally t;
+    t.streamsGenerated =
+        globalTally.streamsGenerated.load(std::memory_order_relaxed);
+    t.streamsReused =
+        globalTally.streamsReused.load(std::memory_order_relaxed);
+    t.refsGenerated =
+        globalTally.refsGenerated.load(std::memory_order_relaxed);
+    t.genSeconds = static_cast<double>(globalTally.genNanos.load(
+                       std::memory_order_relaxed)) *
+                   1e-9;
+    return t;
+}
+
+ArenaTally
+TraceArena::threadTally()
+{
+    return threadTallySlice;
+}
+
+void
+TraceArena::resetThreadTally()
+{
+    threadTallySlice = ArenaTally{};
+}
+
+ArenaSource::ArenaSource(ArenaStream *stream_, std::string name_)
+    : stream(stream_), label(std::move(name_))
+{
+    if (!stream)
+        gaas_fatal("ArenaSource requires a stream");
+}
+
+bool
+ArenaSource::next(MemRef &ref)
+{
+    return nextBatch(&ref, 1) == 1;
+}
+
+std::size_t
+ArenaSource::nextBatch(MemRef *out, std::size_t n)
+{
+    const std::size_t got = stream->read(pos, out, n);
+    pos += got;
+    return got;
+}
+
+} // namespace gaas::trace

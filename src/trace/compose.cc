@@ -96,12 +96,16 @@ LoopSource::nextBatch(MemRef *out, std::size_t n)
         produced += inner->nextBatch(out + produced, n - produced);
         if (produced == n)
             break;
-        // Inner exhausted mid-batch: wrap, exactly as next() would.
+        // Inner exhausted mid-batch: wrap, exactly as next() would,
+        // then keep filling in batches -- the refill can itself hit
+        // the end (short inner trace, large n), so loop.
         inner->reset();
         ++wrapCount;
-        if (inner->nextBatch(out + produced, 1) == 0)
+        const std::size_t got =
+            inner->nextBatch(out + produced, n - produced);
+        if (got == 0)
             break; // empty even after a reset: give up, as next()
-        ++produced;
+        produced += got;
     }
     return produced;
 }

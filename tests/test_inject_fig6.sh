@@ -52,8 +52,10 @@ for csv in fig6_l2_cpi.csv table2_l2_miss_ratios.csv; do
 done
 
 # The stats-json dir reports the failure too: 27 regular dumps plus
-# exactly one failure record carrying the stable code.
-ok_dumps=$(ls "$WORK/json"/*.json | grep -cv '\.failed\.json$')
+# exactly one failure record carrying the stable code (and the
+# sweep-level telemetry dump, which is neither).
+ok_dumps=$(ls "$WORK/json"/*.json \
+    | grep -v '\.failed\.json$' | grep -cv '/sweep-')
 [ "$ok_dumps" -eq 27 ] || fail "expected 27 stats dumps, got $ok_dumps"
 failed_dumps=$(ls "$WORK/json"/*.failed.json | wc -l)
 [ "$failed_dumps" -eq 1 ] \

@@ -92,6 +92,63 @@ TEST(LoopSource, EmptyInnerTerminates)
     EXPECT_FALSE(looped.next(ref));
 }
 
+TEST(LoopSource, BatchedWrapMatchesNext)
+{
+    // Every batch size from 1 up to past three laps must straddle the
+    // wrap at some offset; the batched stream and its wrap count must
+    // match the repeated-next() ground truth exactly.
+    const auto sample = sampleTrace();
+    const std::size_t n = sample.size();
+    const std::size_t want = 3 * n + 2;
+    for (std::size_t batch = 1; batch <= want; ++batch) {
+        LoopSource byNext(
+            std::make_unique<VectorSource>("s", sample));
+        LoopSource byBatch(
+            std::make_unique<VectorSource>("s", sample));
+
+        std::vector<MemRef> a;
+        MemRef ref;
+        while (a.size() < want && byNext.next(ref))
+            a.push_back(ref);
+
+        std::vector<MemRef> b;
+        std::vector<MemRef> buf(batch);
+        while (b.size() < want) {
+            const std::size_t ask =
+                std::min(batch, want - b.size());
+            const std::size_t got =
+                byBatch.nextBatch(buf.data(), ask);
+            ASSERT_GT(got, 0u) << "batch " << batch;
+            b.insert(b.end(), buf.begin(), buf.begin() + got);
+        }
+        ASSERT_EQ(a, b) << "batch " << batch;
+        EXPECT_EQ(byNext.wraps(), byBatch.wraps())
+            << "batch " << batch;
+    }
+}
+
+TEST(LoopSource, OneBatchSpansManyWraps)
+{
+    // A single call much larger than the inner trace fills completely
+    // (the refill loop keeps wrapping instead of returning short).
+    const auto sample = sampleTrace();
+    const std::size_t n = sample.size();
+    LoopSource looped(std::make_unique<VectorSource>("s", sample));
+    std::vector<MemRef> out(5 * n + 3);
+    ASSERT_EQ(looped.nextBatch(out.data(), out.size()), out.size());
+    EXPECT_EQ(looped.wraps(), 5u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], sample[i % n]) << "index " << i;
+}
+
+TEST(LoopSource, EmptyInnerBatchTerminates)
+{
+    LoopSource looped(std::make_unique<VectorSource>(
+        "empty", std::vector<MemRef>{}));
+    MemRef buf[4];
+    EXPECT_EQ(looped.nextBatch(buf, 4), 0u);
+}
+
 TEST(ConcatSource, PlaysPartsInOrder)
 {
     std::vector<std::unique_ptr<TraceSource>> parts;

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * benchspeed: the perf-trajectory instrument.
+ *
+ * Times one pinned Fig. 6-shaped ladder (7 L2 sizes x 4
+ * organisations, the paper's heaviest sweep) twice in one process --
+ * first with the trace arena disabled (per-job generators, the
+ * pre-arena behaviour), then with it enabled -- and writes the
+ * comparison to a JSON file (`BENCH_5.json` by default) so the
+ * repository's performance can be tracked run over run:
+ *
+ *   wall seconds and refs/s for both modes, the arena's stream
+ *   hit rate / generation seconds / byte footprint, and the
+ *   end-to-end speedup.
+ *
+ * The two modes must also be *correct* relative to each other: every
+ * point's full stats dump is byte-compared across modes and any
+ * difference is a hard failure.  `--smoke` shrinks the budgets to CI
+ * scale and asserts only the invariants (arena reuse happened, modes
+ * byte-identical) -- never absolute times; the ctest `perfsmoke`
+ * label runs that mode.
+ *
+ * Usage: benchspeed [--smoke] [--out FILE]
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/stats_dump.hh"
+#include "core/sweep.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "trace/arena.hh"
+#include "util/file_io.hh"
+
+namespace
+{
+
+using namespace gaas;
+
+/** The pinned ladder: Fig. 6's 28 configurations. */
+std::vector<core::SweepJob>
+ladder(Count instructions, Count warmup, unsigned mp_level)
+{
+    struct Org
+    {
+        const char *name;
+        core::L2Org org;
+        unsigned assoc;
+        Cycles accessTime;
+    };
+    const Org orgs[] = {
+        {"unified-1w", core::L2Org::Unified, 1, 6},
+        {"unified-2w", core::L2Org::Unified, 2, 7},
+        {"split-1w", core::L2Org::LogicalSplit, 1, 6},
+        {"split-2w", core::L2Org::LogicalSplit, 2, 7},
+    };
+    std::vector<core::SweepJob> jobs;
+    for (std::uint64_t size = 16 * 1024; size <= 1024 * 1024;
+         size *= 2) {
+        for (const auto &org : orgs) {
+            core::SweepJob job;
+            job.config = core::afterWritePolicy();
+            job.config.name = "l2-" +
+                              std::to_string(size / 1024) + "k-" +
+                              org.name;
+            job.config.l2Org = org.org;
+            job.config.l2.cache.sizeWords = size;
+            job.config.l2.cache.assoc = org.assoc;
+            job.config.l2.accessTime = org.accessTime;
+            job.mpLevel = mp_level;
+            job.instructions = instructions;
+            job.warmup = warmup;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+struct ModeRun
+{
+    double wallSeconds = 0.0;
+    double refsPerSecond = 0.0;
+    core::SweepStats stats;
+    std::vector<std::string> dumps; //!< per-point stats text
+};
+
+ModeRun
+runMode(const std::vector<core::SweepJob> &jobs, bool arena_on)
+{
+    if (arena_on)
+        ::unsetenv("GAAS_BENCH_ARENA");
+    else
+        ::setenv("GAAS_BENCH_ARENA", "0", 1);
+
+    ModeRun run;
+    const auto outcomes =
+        core::runSweepOutcomes(jobs, 0, &run.stats);
+    run.wallSeconds = run.stats.wallSeconds;
+    run.refsPerSecond = run.stats.refsPerSecond();
+    for (const auto &out : outcomes) {
+        if (out.status == core::PointStatus::Failed) {
+            std::cerr << "benchspeed: point '"
+                      << out.result.configName << "' failed: "
+                      << out.error << "\n";
+            std::exit(1);
+        }
+        std::ostringstream os;
+        core::dumpStats(out.result, os);
+        run.dumps.push_back(os.str());
+    }
+    return run;
+}
+
+obs::JsonValue
+num(double v)
+{
+    return obs::JsonValue::number(v);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string outPath = "BENCH_5.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 &&
+                   i + 1 < argc) {
+            outPath = argv[++i];
+        } else {
+            std::cerr << "usage: benchspeed [--smoke] [--out FILE]\n";
+            return 2;
+        }
+    }
+
+    // Pinned budgets: independent of the GAAS_BENCH_* knobs so the
+    // numbers are comparable across runs and machines.
+    const Count instructions = smoke ? 20'000 : 1'000'000;
+    const Count warmup = smoke ? 5'000 : 500'000;
+    const unsigned mp = smoke ? 4 : 8;
+    const auto jobs = ladder(instructions, warmup, mp);
+
+    std::cout << "benchspeed: " << jobs.size()
+              << "-point fig6 ladder, " << instructions
+              << " instructions + " << warmup << " warmup, mp "
+              << mp << ", " << core::sweepWorkers()
+              << " worker(s)\n";
+
+    // Off first: the arena map is process-global and never evicted,
+    // so the on-mode run that follows starts cold and pays its own
+    // generation -- the fair comparison.
+    const ModeRun off = runMode(jobs, false);
+    std::cout << "  arena off: " << off.wallSeconds << " s wall, "
+              << off.refsPerSecond << " refs/s\n";
+    const ModeRun on = runMode(jobs, true);
+    std::cout << "  arena on:  " << on.wallSeconds << " s wall, "
+              << on.refsPerSecond << " refs/s, "
+              << on.stats.arenaStreamsGenerated << " streams gen / "
+              << on.stats.arenaStreamsReused << " reused\n";
+
+    int rc = 0;
+    if (off.dumps != on.dumps) {
+        for (std::size_t i = 0; i < off.dumps.size(); ++i) {
+            if (off.dumps[i] != on.dumps[i])
+                std::cerr << "benchspeed: FAIL: point " << i << " ('"
+                          << jobs[i].config.name
+                          << "') differs between arena on and off\n";
+        }
+        rc = 1;
+    }
+    if (on.stats.arenaStreamsReused == 0) {
+        std::cerr << "benchspeed: FAIL: arena-on run reused no "
+                     "streams (arena path not exercised)\n";
+        rc = 1;
+    }
+
+    const double speedup = on.wallSeconds > 0.0
+                               ? off.wallSeconds / on.wallSeconds
+                               : 0.0;
+    const double acquisitions =
+        static_cast<double>(on.stats.arenaStreamsGenerated +
+                            on.stats.arenaStreamsReused);
+    const double hitRate =
+        acquisitions > 0.0
+            ? static_cast<double>(on.stats.arenaStreamsReused) /
+                  acquisitions
+            : 0.0;
+
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.members.emplace_back("benchmark",
+                             obs::JsonValue::string("fig6-ladder"));
+    doc.members.emplace_back("smoke",
+                             num(smoke ? 1 : 0));
+    doc.members.emplace_back(
+        "points", num(static_cast<double>(jobs.size())));
+    doc.members.emplace_back(
+        "instructions_per_point",
+        num(static_cast<double>(instructions)));
+    doc.members.emplace_back(
+        "warmup_per_point", num(static_cast<double>(warmup)));
+    doc.members.emplace_back("mp_level",
+                             num(static_cast<double>(mp)));
+    doc.members.emplace_back(
+        "workers", num(static_cast<double>(off.stats.workers)));
+
+    obs::JsonValue offJson = obs::JsonValue::object();
+    offJson.members.emplace_back("wall_seconds",
+                                 num(off.wallSeconds));
+    offJson.members.emplace_back("refs_per_second",
+                                 num(off.refsPerSecond));
+    doc.members.emplace_back("arena_off", std::move(offJson));
+
+    obs::JsonValue onJson = obs::JsonValue::object();
+    onJson.members.emplace_back("wall_seconds",
+                                num(on.wallSeconds));
+    onJson.members.emplace_back("refs_per_second",
+                                num(on.refsPerSecond));
+    onJson.members.emplace_back(
+        "streams_generated",
+        num(static_cast<double>(on.stats.arenaStreamsGenerated)));
+    onJson.members.emplace_back(
+        "streams_reused",
+        num(static_cast<double>(on.stats.arenaStreamsReused)));
+    onJson.members.emplace_back("stream_hit_rate", num(hitRate));
+    onJson.members.emplace_back("gen_seconds",
+                                num(on.stats.arenaGenSeconds));
+    onJson.members.emplace_back(
+        "arena_bytes",
+        num(static_cast<double>(on.stats.arenaBytes)));
+    doc.members.emplace_back("arena_on", std::move(onJson));
+
+    doc.members.emplace_back("speedup", num(speedup));
+
+    std::string error;
+    if (!util::writeFileAtomicRetry(
+            outPath, obs::writeJsonString(doc) + "\n", &error)) {
+        std::cerr << "benchspeed: cannot write " << outPath << ": "
+                  << error << "\n";
+        rc = 1;
+    } else {
+        std::cout << "  speedup " << speedup << "x, hit rate "
+                  << hitRate << " -> " << outPath << "\n";
+    }
+    return rc;
+}
