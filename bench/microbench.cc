@@ -13,16 +13,136 @@
 
 #include <array>
 #include <memory>
+#include <vector>
 
+#include "cache/tag_store.hh"
 #include "core/config.hh"
 #include "core/simulator.hh"
+#include "mmu/mmu.hh"
 #include "synth/suite.hh"
 #include "trace/compose.hh"
+#include "util/random.hh"
 
 namespace
 {
 
 using namespace gaas;
+
+/** Pseudo-random word-aligned addresses covering @p span bytes. */
+std::vector<Addr>
+addressStream(std::size_t count, Addr span)
+{
+    Rng rng(0x5eed);
+    std::vector<Addr> addrs(count);
+    for (auto &a : addrs)
+        a = (rng.next64() % span) & ~Addr{3};
+    return addrs;
+}
+
+/**
+ * Raw tag-probe kernel: the inner operation of every simulated
+ * reference.  @p span sized at 4x the cache so roughly 3/4 of the
+ * probes miss and the branch pattern is adversarial.
+ */
+void
+findKernel(benchmark::State &state, const cache::CacheConfig &cfg)
+{
+    cache::TagStore store(cfg, "bench");
+    const auto addrs =
+        addressStream(1 << 16, Addr{4} * cfg.sizeBytes());
+    cache::Eviction ev;
+    for (const Addr a : addrs)
+        store.allocate(a, ev);
+
+    std::size_t i = 0;
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        const auto idx = store.lookup(addrs[i]);
+        hits += idx != cache::TagStore::npos;
+        if (++i == addrs.size())
+            i = 0;
+    }
+    benchmark::DoNotOptimize(hits);
+    state.counters["probes/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+/** find-or-allocate kernel: adds the replacement path. */
+void
+allocateKernel(benchmark::State &state,
+               const cache::CacheConfig &cfg)
+{
+    cache::TagStore store(cfg, "bench");
+    const auto addrs =
+        addressStream(1 << 16, Addr{4} * cfg.sizeBytes());
+
+    std::size_t i = 0;
+    cache::Eviction ev;
+    for (auto _ : state) {
+        const Addr a = addrs[i];
+        const auto idx = store.lookup(a);
+        if (idx == cache::TagStore::npos)
+            store.allocateIdx(a, ev);
+        else
+            store.touchIdx(idx);
+        if (++i == addrs.size())
+            i = 0;
+    }
+    benchmark::DoNotOptimize(ev.lineAddr);
+    state.counters["ops/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_TagStoreFindDm(benchmark::State &state)
+{
+    findKernel(state, cache::directMapped(4 * 1024));
+}
+BENCHMARK(BM_TagStoreFindDm);
+
+void
+BM_TagStoreFindAssoc4(benchmark::State &state)
+{
+    findKernel(state, cache::setAssoc(4 * 1024, 4, 4));
+}
+BENCHMARK(BM_TagStoreFindAssoc4);
+
+void
+BM_TagStoreAllocateDm(benchmark::State &state)
+{
+    allocateKernel(state, cache::directMapped(4 * 1024));
+}
+BENCHMARK(BM_TagStoreAllocateDm);
+
+void
+BM_TagStoreAllocateAssoc4(benchmark::State &state)
+{
+    allocateKernel(state, cache::setAssoc(4 * 1024, 4, 4));
+}
+BENCHMARK(BM_TagStoreAllocateAssoc4);
+
+void
+BM_MmuTranslate(benchmark::State &state)
+{
+    mmu::Mmu unit{mmu::MmuConfig{}};
+    // 8 processes x 1MB working sets, like the standard workload.
+    const auto addrs = addressStream(1 << 16, Addr{1} << 20);
+    std::size_t i = 0;
+    Addr sum = 0;
+    for (auto _ : state) {
+        const auto pid = static_cast<Pid>(i & 7);
+        sum += unit.translateData(pid, addrs[i]).paddr;
+        if (++i == addrs.size())
+            i = 0;
+    }
+    benchmark::DoNotOptimize(sum);
+    state.counters["xlates/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MmuTranslate);
 
 /**
  * The exact source composition Workload::standard hands the

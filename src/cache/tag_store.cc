@@ -13,110 +13,59 @@ TagStore::TagStore(const CacheConfig &config, const char *what)
     lineShift = floorLog2(cfg.lineBytes());
     lineMask = mask(lineShift);
     indexBits = floorLog2(cfg.sets());
+    indexMask = mask(indexBits);
+    assocWays = cfg.assoc;
     directMapped = cfg.assoc == 1;
     fullValidMask = static_cast<std::uint32_t>(mask(cfg.lineWords));
-    lines.assign(cfg.sets() * cfg.assoc, LineState{});
+
+    const std::size_t n = cfg.sets() * cfg.assoc;
+    tagArr.assign(n, kInvalidTag);
+    stateArr.assign(n, 0);
+    maskArr.assign(n, 0);
+    lruArr.assign(n, 0);
 }
 
-std::uint64_t
-TagStore::setIndex(Addr addr) const
+TagStore::LineIndex
+TagStore::allocateIdx(Addr addr, Eviction &evicted)
 {
-    return bits(addr, lineShift, indexBits);
-}
-
-std::uint64_t
-TagStore::tagOf(Addr addr) const
-{
-    return addr >> (lineShift + indexBits);
-}
-
-unsigned
-TagStore::wordInLine(Addr addr) const
-{
-    return static_cast<unsigned>(bits(addr, kWordShift,
-                                      lineShift - kWordShift));
-}
-
-LineState *
-TagStore::setBase(std::uint64_t set)
-{
-    return &lines[set * cfg.assoc];
-}
-
-LineState *
-TagStore::find(Addr addr)
-{
-    const std::uint64_t tag = tagOf(addr);
-    LineState *base = setBase(setIndex(addr));
-    if (directMapped)
-        return (base->valid && base->tag == tag) ? base : nullptr;
-    for (unsigned way = 0; way < cfg.assoc; ++way) {
-        LineState &line = base[way];
-        if (line.valid && line.tag == tag)
-            return &line;
-    }
-    return nullptr;
-}
-
-const LineState *
-TagStore::find(Addr addr) const
-{
-    return const_cast<TagStore *>(this)->find(addr);
-}
-
-LineState &
-TagStore::victim(Addr addr)
-{
-    LineState *base = setBase(setIndex(addr));
-    if (directMapped)
-        return *base;
-    LineState *victim = base;
-    for (unsigned way = 0; way < cfg.assoc; ++way) {
-        LineState &line = base[way];
-        if (!line.valid)
-            return line;
-        if (line.lru < victim->lru)
-            victim = &line;
-    }
-    return *victim;
-}
-
-LineState &
-TagStore::allocate(Addr addr, Eviction &evicted)
-{
-    LineState &line = victim(addr);
+    const LineIndex idx = victimIdx(addr);
 
     evicted = Eviction{};
-    if (line.valid) {
+    if (stateArr[idx] & kValidBit) {
         evicted.valid = true;
-        evicted.dirty = line.dirty;
+        evicted.dirty = (stateArr[idx] & kDirtyBit) != 0;
         evicted.lineAddr =
-            (line.tag << (lineShift + indexBits)) |
+            (tagArr[idx] << (lineShift + indexBits)) |
             (setIndex(addr) << lineShift);
     }
 
-    line.tag = tagOf(addr);
-    line.valid = true;
-    line.dirty = false;
-    line.writeOnly = false;
-    line.validMask = fullValidMask;
-    touch(line);
-    return line;
+    const std::uint64_t tag = tagOf(addr);
+    if (tag == kInvalidTag)
+        gaas_fatal("address 0x", addr,
+                   " maps to the reserved invalid tag word");
+    tagArr[idx] = tag;
+    stateArr[idx] = kValidBit;
+    maskArr[idx] = fullValidMask;
+    touchIdx(idx);
+    return idx;
 }
 
 void
 TagStore::invalidateAll()
 {
-    for (auto &line : lines)
-        line = LineState{};
+    for (LineIndex idx = 0; idx < tagArr.size(); ++idx) {
+        invalidateAt(idx);
+        maskArr[idx] = 0;
+        lruArr[idx] = 0;
+    }
 }
 
 std::uint64_t
 TagStore::validCount() const
 {
     std::uint64_t n = 0;
-    for (const auto &line : lines)
-        n += line.valid ? 1 : 0;
+    for (const std::uint8_t s : stateArr)
+        n += s & kValidBit;
     return n;
 }
 
@@ -124,8 +73,11 @@ std::uint64_t
 TagStore::dirtyCount() const
 {
     std::uint64_t n = 0;
-    for (const auto &line : lines)
-        n += (line.valid && line.dirty) ? 1 : 0;
+    for (const std::uint8_t s : stateArr)
+        n += (s & (kValidBit | kDirtyBit)) ==
+                     (kValidBit | kDirtyBit)
+                 ? 1
+                 : 0;
     return n;
 }
 

@@ -111,8 +111,8 @@ CacheSystem::l2Access(bool is_inst, Addr paddr, Cycles now,
     L2Result res;
     res.access = side.accessTime + extraTransferCycles(fetch_words);
 
-    if (cache::LineState *line = store.find(paddr)) {
-        store.touch(*line);
+    if (cache::TagStore::Ref line = store.find(paddr)) {
+        store.touch(line);
         return res;
     }
 
@@ -129,21 +129,8 @@ CacheSystem::l2Access(bool is_inst, Addr paddr, Cycles now,
 }
 
 Cycles
-CacheSystem::ifetch(Cycles now, Pid pid, Addr vaddr)
+CacheSystem::ifetchMiss(Cycles now, Cycles stall, Addr paddr)
 {
-    ++st.ifetches;
-    const auto tr = mmuUnit.translateInst(pid, vaddr);
-
-    Cycles stall = 0;
-    if (tr.tlbMiss && cfg.mmu.tlbMissPenalty) {
-        stall += cfg.mmu.tlbMissPenalty;
-        comp.tlb += cfg.mmu.tlbMissPenalty;
-    }
-
-    if (cache::LineState *line = l1i.find(tr.paddr)) {
-        l1i.touch(*line);
-        return stall;
-    }
     ++st.l1iMisses;
 
     // The base architecture makes both primary caches wait for the
@@ -157,13 +144,13 @@ CacheSystem::ifetch(Cycles now, Pid pid, Addr vaddr)
     }
 
     const L2Result r =
-        l2Access(true, tr.paddr, now + stall, cfg.l1i.fetchWords);
+        l2Access(true, paddr, now + stall, cfg.l1i.fetchWords);
     stall += r.access + r.memory;
     comp.l1iMiss += r.access;
     comp.l2iMiss += r.memory;
 
     cache::Eviction evicted;
-    l1i.allocate(tr.paddr, evicted);
+    l1i.allocate(paddr, evicted);
     return stall;
 }
 
@@ -185,10 +172,10 @@ CacheSystem::dataMissWriteBufferWait(Addr paddr, Cycles now)
         // allocated (and dirtied) an L1-D line, so a clean victim
         // proves the buffer holds nothing this line needs
         // (Section 9).
-        cache::LineState *line = l1d.find(paddr);
-        const cache::LineState &victim =
-            line ? *line : l1d.victim(paddr);
-        if (victim.valid && victim.dirty)
+        cache::TagStore::Ref line = l1d.find(paddr);
+        const cache::TagStore::Ref victim =
+            line ? line : l1d.victim(paddr);
+        if (victim.valid() && victim.dirty())
             wait = wb.drainAll(now);
         else
             wb.noteBypass();
@@ -199,21 +186,21 @@ CacheSystem::dataMissWriteBufferWait(Addr paddr, Cycles now)
     return wait;
 }
 
-cache::LineState &
+cache::TagStore::Ref
 CacheSystem::refillL1D(Addr paddr, Cycles now, Cycles &stall)
 {
     // A read miss on a write-only (or partially valid) line with a
     // matching tag reallocates the same line in place.
-    if (cache::LineState *line = l1d.find(paddr)) {
-        line->writeOnly = false;
-        line->dirty = false;
-        line->validMask = l1d.fullMask();
-        l1d.touch(*line);
-        return *line;
+    if (cache::TagStore::Ref line = l1d.find(paddr)) {
+        line.setWriteOnly(false);
+        line.setDirty(false);
+        line.setValidMask(l1d.fullMask());
+        l1d.touch(line);
+        return line;
     }
 
     cache::Eviction evicted;
-    cache::LineState &line = l1d.allocate(paddr, evicted);
+    cache::TagStore::Ref line = l1d.allocate(paddr, evicted);
 
     // Write-back: a displaced dirty line drains through the write
     // buffer as one full-line entry.
@@ -228,40 +215,23 @@ CacheSystem::refillL1D(Addr paddr, Cycles now, Cycles &stall)
 }
 
 Cycles
-CacheSystem::load(Cycles now, Pid pid, Addr vaddr)
+CacheSystem::loadMiss(Cycles now, Cycles stall, Addr paddr,
+                      cache::TagStore::LineIndex idx)
 {
-    ++st.loads;
-    const auto tr = mmuUnit.translateData(pid, vaddr);
-
-    Cycles stall = 0;
-    if (tr.tlbMiss && cfg.mmu.tlbMissPenalty) {
-        stall += cfg.mmu.tlbMissPenalty;
-        comp.tlb += cfg.mmu.tlbMissPenalty;
-    }
-
-    cache::LineState *line = l1d.find(tr.paddr);
-    bool usable = line && !line->writeOnly;
-    if (usable && cfg.writePolicy == WritePolicy::SubblockPlacement)
-        usable = (line->validMask & l1d.wordBit(tr.paddr)) != 0;
-
-    if (usable) {
-        l1d.touch(*line);
-        return stall;
-    }
-
-    if (line && line->writeOnly)
+    if (idx != cache::TagStore::npos &&
+        (l1d.stateAt(idx) & cache::TagStore::kWriteOnlyBit))
         ++st.writeOnlyReadMisses;
     ++st.l1dReadMisses;
 
-    stall += dataMissWriteBufferWait(tr.paddr, now + stall);
+    stall += dataMissWriteBufferWait(paddr, now + stall);
 
     const L2Result r =
-        l2Access(false, tr.paddr, now + stall, cfg.l1d.fetchWords);
+        l2Access(false, paddr, now + stall, cfg.l1d.fetchWords);
     stall += r.access + r.memory;
     comp.l1dMiss += r.access;
     comp.l2dMiss += r.memory;
 
-    refillL1D(tr.paddr, now, stall);
+    refillL1D(paddr, now, stall);
     return stall;
 }
 
@@ -273,137 +243,81 @@ CacheSystem::applyWriteToL2(Addr paddr)
     // L2 allocates on writes, so write-through traffic creates the
     // dirty L2-D lines whose replacement causes dirty misses.
     cache::TagStore &store = l2Store(false);
-    if (cache::LineState *line = store.find(paddr)) {
-        line->dirty = true;
-        store.touch(*line);
+    if (cache::TagStore::Ref line = store.find(paddr)) {
+        line.setDirty(true);
+        store.touch(line);
         return;
     }
     ++st.l2WriteAllocates;
     cache::Eviction evicted;
-    cache::LineState &line = store.allocate(paddr, evicted);
-    line.dirty = true;
+    cache::TagStore::Ref line = store.allocate(paddr, evicted);
+    line.setDirty(true);
     // A displaced dirty line is written back in the background; the
     // bus cost is folded into the effective drain time (DESIGN.md).
 }
 
 Cycles
-CacheSystem::store(Cycles now, Pid pid, Addr vaddr,
-                   bool partial_word)
+CacheSystem::storeMissWriteBack(Cycles now, Cycles stall, Addr paddr)
 {
-    ++st.stores;
-    const auto tr = mmuUnit.translateData(pid, vaddr);
+    // Write-allocate: fetch the line like a read miss; the write
+    // itself needs no extra cycle (Section 6).
+    ++st.l1dWriteMisses;
+    stall += dataMissWriteBufferWait(paddr, now + stall);
+    const L2Result r =
+        l2Access(false, paddr, now + stall, cfg.l1d.fetchWords);
+    stall += r.access + r.memory;
+    comp.l1dMiss += r.access;
+    comp.l2dMiss += r.memory;
+    cache::TagStore::Ref nl = refillL1D(paddr, now, stall);
+    nl.setDirty(true);
+    return stall;
+}
 
-    Cycles stall = 0;
-    if (tr.tlbMiss && cfg.mmu.tlbMissPenalty) {
-        stall += cfg.mmu.tlbMissPenalty;
-        comp.tlb += cfg.mmu.tlbMissPenalty;
-    }
+Cycles
+CacheSystem::storeMissInvalidate(Cycles stall, Addr paddr)
+{
+    ++st.l1dWriteMisses;
+    // The data array was written while the tag mismatched; a second
+    // cycle invalidates the corrupted line.  (Only meaningful for a
+    // direct-mapped L1-D, where the way is implied; the design
+    // study's L1-D is always direct mapped.)
+    stall += 1;
+    comp.l1Writes += 1;
+    if (cfg.l1d.assoc == 1)
+        l1d.victim(paddr).invalidate();
+    return stall;
+}
 
-    cache::LineState *line = l1d.find(tr.paddr);
+Cycles
+CacheSystem::storeMissWriteOnly(Cycles stall, Addr paddr)
+{
+    ++st.l1dWriteMisses;
+    // The second cycle updates the tag and marks the line
+    // write-only; subsequent writes to it hit (Section 6).
+    stall += 1;
+    comp.l1Writes += 1;
+    cache::Eviction evicted;
+    cache::TagStore::Ref nl = l1d.allocate(paddr, evicted);
+    nl.setWriteOnly(true);
+    nl.setDirty(true);
+    nl.setValidMask(0);
+    return stall;
+}
 
-    if (cfg.writePolicy == WritePolicy::WriteBack) {
-        if (line) {
-            // Write hits take two cycles: the tag is checked before
-            // the write commits (Section 2).
-            stall += 1;
-            comp.l1Writes += 1;
-            line->dirty = true;
-            l1d.touch(*line);
-            return stall;
-        }
-        // Write-allocate: fetch the line like a read miss; the write
-        // itself needs no extra cycle (Section 6).
-        ++st.l1dWriteMisses;
-        stall += dataMissWriteBufferWait(tr.paddr, now + stall);
-        const L2Result r = l2Access(false, tr.paddr, now + stall,
-                                    cfg.l1d.fetchWords);
-        stall += r.access + r.memory;
-        comp.l1dMiss += r.access;
-        comp.l2dMiss += r.memory;
-        cache::LineState &nl = refillL1D(tr.paddr, now, stall);
-        nl.dirty = true;
-        return stall;
-    }
-
-    // Write-through family: every write enters the write buffer and
-    // is applied to L2 when it drains.
-    {
-        const Cycles wait = wb.push(now + stall, tr.paddr);
-        stall += wait;
-        comp.wbWait += wait;
-        applyWriteToL2(tr.paddr);
-    }
-
-    switch (cfg.writePolicy) {
-      case WritePolicy::WriteMissInvalidate: {
-        if (line) {
-            // One-cycle hit: tag checked in parallel with the write.
-            l1d.touch(*line);
-            line->dirty = true;
-            return stall;
-        }
-        ++st.l1dWriteMisses;
-        // The data array was written while the tag mismatched; a
-        // second cycle invalidates the corrupted line.  (Only
-        // meaningful for a direct-mapped L1-D, where the way is
-        // implied; the design study's L1-D is always direct mapped.)
-        stall += 1;
-        comp.l1Writes += 1;
-        if (cfg.l1d.assoc == 1) {
-            cache::LineState &corrupted = l1d.victim(tr.paddr);
-            corrupted.valid = false;
-        }
-        return stall;
-      }
-
-      case WritePolicy::WriteOnly: {
-        if (line) {
-            // Hits -- including hits on write-only lines -- complete
-            // in one cycle.
-            l1d.touch(*line);
-            line->dirty = true;
-            return stall;
-        }
-        ++st.l1dWriteMisses;
-        // The second cycle updates the tag and marks the line
-        // write-only; subsequent writes to it hit (Section 6).
-        stall += 1;
-        comp.l1Writes += 1;
-        cache::Eviction evicted;
-        cache::LineState &nl = l1d.allocate(tr.paddr, evicted);
-        nl.writeOnly = true;
-        nl.dirty = true;
-        nl.validMask = 0;
-        return stall;
-      }
-
-      case WritePolicy::SubblockPlacement: {
-        const std::uint32_t bit = l1d.wordBit(tr.paddr);
-        if (line) {
-            l1d.touch(*line);
-            line->dirty = true;
-            // Word writes validate their word; partial-word writes
-            // leave the valid bits unchanged (Section 6).
-            if (!partial_word)
-                line->validMask |= bit;
-            return stall;
-        }
-        ++st.l1dWriteMisses;
-        // Second cycle: update the tag; only the written word (if a
-        // full-word write) becomes valid.
-        stall += 1;
-        comp.l1Writes += 1;
-        cache::Eviction evicted;
-        cache::LineState &nl = l1d.allocate(tr.paddr, evicted);
-        nl.dirty = true;
-        nl.validMask = partial_word ? 0 : bit;
-        return stall;
-      }
-
-      case WritePolicy::WriteBack:
-        break; // handled above
-    }
-    gaas_panic("unreachable write policy");
+Cycles
+CacheSystem::storeMissSubblock(Cycles stall, Addr paddr,
+                               bool partial_word)
+{
+    ++st.l1dWriteMisses;
+    // Second cycle: update the tag; only the written word (if a
+    // full-word write) becomes valid.
+    stall += 1;
+    comp.l1Writes += 1;
+    cache::Eviction evicted;
+    cache::TagStore::Ref nl = l1d.allocate(paddr, evicted);
+    nl.setDirty(true);
+    nl.setValidMask(partial_word ? 0 : l1d.wordBit(paddr));
+    return stall;
 }
 
 void

@@ -12,6 +12,17 @@
  * Each of ifetch/load/store takes the current cycle and returns the
  * stall cycles the access adds beyond the instruction's base cost;
  * stalls are simultaneously attributed to the Fig. 4 CPI buckets.
+ *
+ * Hot-core structure: the three access entry points are templates
+ * over an AccessSpec that fixes the L1 geometry (direct-mapped or
+ * set-associative) and the write policy at compile time, so the
+ * specialized simulate loops carry no per-reference policy branches.
+ * The L1 *hit* paths live here in the header and inline into the
+ * simulate loop; every miss path is a non-inlined out-of-line call
+ * (misses are rare and their code would otherwise crowd the hit
+ * path out of the host I-cache).  GenericAccessSpec instantiates
+ * the exact same code with runtime config reads, so the generic and
+ * specialized paths are bit-identical by construction.
  */
 
 #ifndef GAAS_CORE_CACHE_SYSTEM_HH
@@ -26,9 +37,38 @@
 #include "mem/main_memory.hh"
 #include "mem/write_buffer.hh"
 #include "mmu/mmu.hh"
+#include "util/logging.hh"
 
 namespace gaas::core
 {
+
+/**
+ * Access-path spec that resolves nothing at compile time: geometry
+ * and write policy are read from the runtime config, exactly as the
+ * pre-specialization simulator did.  The reference path for the
+ * equivalence tests, and the fallback for mixed L1 geometries.
+ */
+struct GenericAccessSpec
+{
+    static constexpr bool specialized = false;
+    /** Unused when !specialized; present so the template compiles. */
+    static constexpr bool dmL1 = false;
+    static constexpr WritePolicy policy = WritePolicy::WriteBack;
+};
+
+/**
+ * Fully specialized access path: both L1s share one geometry class
+ * (@p DmL1: direct-mapped, else set-associative) and the write
+ * policy is @p Policy.  The policy switch and the way-loop choice
+ * constant-fold away.
+ */
+template <bool DmL1, WritePolicy Policy>
+struct FastAccessSpec
+{
+    static constexpr bool specialized = true;
+    static constexpr bool dmL1 = DmL1;
+    static constexpr WritePolicy policy = Policy;
+};
 
 /** The memory side of the machine; see file comment. */
 class CacheSystem
@@ -41,17 +81,55 @@ class CacheSystem
      * Fetch the instruction at @p vaddr for process @p pid.
      * @return stall cycles beyond the base instruction cost
      */
-    Cycles ifetch(Cycles now, Pid pid, Addr vaddr);
+    Cycles
+    ifetch(Cycles now, Pid pid, Addr vaddr)
+    {
+        return ifetchT<GenericAccessSpec>(now, pid, vaddr);
+    }
 
     /** Execute a load; @return stall cycles. */
-    Cycles load(Cycles now, Pid pid, Addr vaddr);
+    Cycles
+    load(Cycles now, Pid pid, Addr vaddr)
+    {
+        return loadT<GenericAccessSpec>(now, pid, vaddr);
+    }
 
     /**
      * Execute a store.
      * @param partial_word the store writes less than a full word
      * @return stall cycles
      */
-    Cycles store(Cycles now, Pid pid, Addr vaddr, bool partial_word);
+    Cycles
+    store(Cycles now, Pid pid, Addr vaddr, bool partial_word)
+    {
+        return storeT<GenericAccessSpec>(now, pid, vaddr,
+                                         partial_word);
+    }
+
+    /** @name Specialized access paths (see file comment) */
+    ///@{
+    template <class Spec>
+    Cycles ifetchT(Cycles now, Pid pid, Addr vaddr);
+
+    template <class Spec>
+    Cycles loadT(Cycles now, Pid pid, Addr vaddr);
+
+    template <class Spec>
+    Cycles storeT(Cycles now, Pid pid, Addr vaddr,
+                  bool partial_word);
+    ///@}
+
+    /** Data-side L2 tag-set software prefetch, for the batched
+     *  simulate loop: worth fetching ahead under write-through
+     *  policies, where every store probes L2 (applyWriteToL2) and
+     *  the L2 arrays are far too big for the host cache.  (The L1
+     *  stores stay host-resident by themselves; prefetching them
+     *  was measured a net loss.) */
+    void
+    prefetchL2Data(Addr vaddr) const
+    {
+        (l2u ? *l2u : *l2ds).prefetchSet(vaddr);
+    }
 
     /** Event counters (TLB/WB/memory stats are folded in). */
     SysStats stats() const;
@@ -86,14 +164,67 @@ class CacheSystem
         Cycles memory = 0; //!< main-memory cycles on an L2 miss
     };
 
+    /** L1 probe under @p Spec: the way-loop choice constant-folds
+     *  when the spec pins the geometry. */
+    template <class Spec>
+    static cache::TagStore::LineIndex
+    l1Lookup(const cache::TagStore &store, Addr paddr)
+    {
+        if constexpr (Spec::specialized) {
+            if constexpr (Spec::dmL1)
+                return store.lookupDm(paddr);
+            else
+                return store.lookupAssoc(paddr);
+        } else {
+            return store.lookup(paddr);
+        }
+    }
+
+    /** L1 LRU touch under @p Spec: touchIdx() is a no-op on a
+     *  direct-mapped store (nothing reads the stamps), so the
+     *  DM-pinned specs drop even its directMapped test. */
+    template <class Spec>
+    static void
+    l1Touch(cache::TagStore &store, cache::TagStore::LineIndex idx)
+    {
+        if constexpr (Spec::specialized && Spec::dmL1)
+            (void)store, (void)idx;
+        else
+            store.touchIdx(idx);
+    }
+
+    /** @name Out-of-line miss paths
+     *  Kept out of the inlined hit paths on purpose: misses are the
+     *  rare case, and the compiler would otherwise inline hundreds
+     *  of instructions of drain/refill logic into every simulate
+     *  loop specialization.
+     */
+    ///@{
+    [[gnu::noinline]] Cycles ifetchMiss(Cycles now, Cycles stall,
+                                        Addr paddr);
+    [[gnu::noinline]] Cycles
+    loadMiss(Cycles now, Cycles stall, Addr paddr,
+             cache::TagStore::LineIndex idx);
+    [[gnu::noinline]] Cycles storeMissWriteBack(Cycles now,
+                                                Cycles stall,
+                                                Addr paddr);
+    [[gnu::noinline]] Cycles storeMissInvalidate(Cycles stall,
+                                                 Addr paddr);
+    [[gnu::noinline]] Cycles storeMissWriteOnly(Cycles stall,
+                                                Addr paddr);
+    [[gnu::noinline]] Cycles storeMissSubblock(Cycles stall,
+                                               Addr paddr,
+                                               bool partial_word);
+    ///@}
+
     cache::TagStore &l2Store(bool is_inst);
     L2Result l2Access(bool is_inst, Addr paddr, Cycles now,
                       unsigned fetch_words);
     Cycles extraTransferCycles(unsigned fetch_words) const;
     Cycles dataMissWriteBufferWait(Addr paddr, Cycles now);
     void applyWriteToL2(Addr paddr);
-    cache::LineState &refillL1D(Addr paddr, Cycles now,
-                                Cycles &stall);
+    cache::TagStore::Ref refillL1D(Addr paddr, Cycles now,
+                                   Cycles &stall);
 
     SystemConfig cfg;
     mmu::Mmu mmuUnit;
@@ -108,6 +239,148 @@ class CacheSystem
     SysStats st;
     CpiComponents comp;
 };
+
+// The hot paths.  Statistic increments, LRU touches, and write-buffer
+// pushes happen in exactly the order of the original monolithic
+// ifetch/load/store; the golden byte-identity harness depends on it.
+
+template <class Spec>
+Cycles
+CacheSystem::ifetchT(Cycles now, Pid pid, Addr vaddr)
+{
+    ++st.ifetches;
+    const auto tr = mmuUnit.translateInst(pid, vaddr);
+
+    Cycles stall = 0;
+    if (tr.tlbMiss && cfg.mmu.tlbMissPenalty) [[unlikely]] {
+        stall += cfg.mmu.tlbMissPenalty;
+        comp.tlb += cfg.mmu.tlbMissPenalty;
+    }
+
+    const cache::TagStore::LineIndex idx =
+        l1Lookup<Spec>(l1i, tr.paddr);
+    if (idx != cache::TagStore::npos) [[likely]] {
+        l1Touch<Spec>(l1i, idx);
+        return stall;
+    }
+    return ifetchMiss(now, stall, tr.paddr);
+}
+
+template <class Spec>
+Cycles
+CacheSystem::loadT(Cycles now, Pid pid, Addr vaddr)
+{
+    ++st.loads;
+    const auto tr = mmuUnit.translateData(pid, vaddr);
+
+    Cycles stall = 0;
+    if (tr.tlbMiss && cfg.mmu.tlbMissPenalty) [[unlikely]] {
+        stall += cfg.mmu.tlbMissPenalty;
+        comp.tlb += cfg.mmu.tlbMissPenalty;
+    }
+
+    WritePolicy wp;
+    if constexpr (Spec::specialized)
+        wp = Spec::policy;
+    else
+        wp = cfg.writePolicy;
+
+    const cache::TagStore::LineIndex idx =
+        l1Lookup<Spec>(l1d, tr.paddr);
+    bool usable = idx != cache::TagStore::npos &&
+                  !(l1d.stateAt(idx) & cache::TagStore::kWriteOnlyBit);
+    if (wp == WritePolicy::SubblockPlacement && usable)
+        usable = (l1d.maskAt(idx) & l1d.wordBit(tr.paddr)) != 0;
+
+    if (usable) [[likely]] {
+        l1Touch<Spec>(l1d, idx);
+        return stall;
+    }
+    return loadMiss(now, stall, tr.paddr, idx);
+}
+
+template <class Spec>
+Cycles
+CacheSystem::storeT(Cycles now, Pid pid, Addr vaddr,
+                    bool partial_word)
+{
+    ++st.stores;
+    const auto tr = mmuUnit.translateData(pid, vaddr);
+
+    Cycles stall = 0;
+    if (tr.tlbMiss && cfg.mmu.tlbMissPenalty) [[unlikely]] {
+        stall += cfg.mmu.tlbMissPenalty;
+        comp.tlb += cfg.mmu.tlbMissPenalty;
+    }
+
+    WritePolicy wp;
+    if constexpr (Spec::specialized)
+        wp = Spec::policy;
+    else
+        wp = cfg.writePolicy;
+
+    const cache::TagStore::LineIndex idx =
+        l1Lookup<Spec>(l1d, tr.paddr);
+
+    if (wp == WritePolicy::WriteBack) {
+        if (idx != cache::TagStore::npos) [[likely]] {
+            // Write hits take two cycles: the tag is checked before
+            // the write commits (Section 2).
+            stall += 1;
+            comp.l1Writes += 1;
+            l1d.setDirtyAt(idx, true);
+            l1Touch<Spec>(l1d, idx);
+            return stall;
+        }
+        return storeMissWriteBack(now, stall, tr.paddr);
+    }
+
+    // Write-through family: every write enters the write buffer and
+    // is applied to L2 when it drains.
+    {
+        const Cycles wait = wb.push(now + stall, tr.paddr);
+        stall += wait;
+        comp.wbWait += wait;
+        applyWriteToL2(tr.paddr);
+    }
+
+    switch (wp) {
+      case WritePolicy::WriteMissInvalidate:
+        if (idx != cache::TagStore::npos) [[likely]] {
+            // One-cycle hit: tag checked in parallel with the write.
+            l1Touch<Spec>(l1d, idx);
+            l1d.setDirtyAt(idx, true);
+            return stall;
+        }
+        return storeMissInvalidate(stall, tr.paddr);
+
+      case WritePolicy::WriteOnly:
+        if (idx != cache::TagStore::npos) [[likely]] {
+            // Hits -- including hits on write-only lines -- complete
+            // in one cycle.
+            l1Touch<Spec>(l1d, idx);
+            l1d.setDirtyAt(idx, true);
+            return stall;
+        }
+        return storeMissWriteOnly(stall, tr.paddr);
+
+      case WritePolicy::SubblockPlacement:
+        if (idx != cache::TagStore::npos) [[likely]] {
+            l1Touch<Spec>(l1d, idx);
+            l1d.setDirtyAt(idx, true);
+            // Word writes validate their word; partial-word writes
+            // leave the valid bits unchanged (Section 6).
+            if (!partial_word)
+                l1d.orMaskAt(idx, l1d.wordBit(tr.paddr));
+            return stall;
+        }
+        return storeMissSubblock(stall, tr.paddr, partial_word);
+
+      case WritePolicy::WriteBack:
+        break; // handled above
+    }
+    gaas_panic("unreachable write policy");
+}
 
 } // namespace gaas::core
 

@@ -1,11 +1,27 @@
 #include "simulator.hh"
 
+#include <cstdlib>
+
 #include "obs/metrics.hh"
+#include "trace/packed.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 
 namespace gaas::core
 {
+
+namespace
+{
+
+/** GAAS_SIM_GENERIC=1 forces the generic access path everywhere. */
+bool
+envForcesGeneric()
+{
+    const char *v = std::getenv("GAAS_SIM_GENERIC");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+} // namespace
 
 Simulator::Simulator(const SystemConfig &config, Workload workload)
     : cfg(config), sys(config)
@@ -22,44 +38,146 @@ Simulator::Simulator(const SystemConfig &config, Workload workload)
     }
     alive = procs.size();
     sliceEnd = cfg.timeSliceCycles;
+
+    forceGeneric = envForcesGeneric();
+    loopFn = pickLoop();
+    prefetchStoreL2 = isWriteThrough(cfg.writePolicy);
+}
+
+void
+Simulator::setForceGenericPath(bool force)
+{
+    forceGeneric = force || envForcesGeneric();
+    loopFn = pickLoop();
+}
+
+Simulator::LoopFn
+Simulator::pickLoop()
+{
+    genericPath = true;
+    if (forceGeneric)
+        return &Simulator::runLoopT<GenericAccessSpec>;
+
+    // Specialization needs both L1s in one geometry class, so the
+    // whole probe-path choice folds at compile time; mixed
+    // geometries (never used by the paper's design study) fall back
+    // to the generic path.
+    const bool dm = cfg.l1i.assoc == 1 && cfg.l1d.assoc == 1;
+    const bool sa = cfg.l1i.assoc > 1 && cfg.l1d.assoc > 1;
+    if (!dm && !sa)
+        return &Simulator::runLoopT<GenericAccessSpec>;
+
+    genericPath = false;
+    switch (cfg.writePolicy) {
+      case WritePolicy::WriteBack:
+        return dm ? &Simulator::runLoopT<
+                        FastAccessSpec<true, WritePolicy::WriteBack>>
+                  : &Simulator::runLoopT<FastAccessSpec<
+                        false, WritePolicy::WriteBack>>;
+      case WritePolicy::WriteMissInvalidate:
+        return dm ? &Simulator::runLoopT<FastAccessSpec<
+                        true, WritePolicy::WriteMissInvalidate>>
+                  : &Simulator::runLoopT<FastAccessSpec<
+                        false, WritePolicy::WriteMissInvalidate>>;
+      case WritePolicy::WriteOnly:
+        return dm ? &Simulator::runLoopT<
+                        FastAccessSpec<true, WritePolicy::WriteOnly>>
+                  : &Simulator::runLoopT<FastAccessSpec<
+                        false, WritePolicy::WriteOnly>>;
+      case WritePolicy::SubblockPlacement:
+        return dm ? &Simulator::runLoopT<FastAccessSpec<
+                        true, WritePolicy::SubblockPlacement>>
+                  : &Simulator::runLoopT<FastAccessSpec<
+                        false, WritePolicy::SubblockPlacement>>;
+    }
+    genericPath = true;
+    return &Simulator::runLoopT<GenericAccessSpec>;
 }
 
 bool
 Simulator::refill(ProcState &p)
 {
+    // Packed replay first: arena-backed sources hand over raw
+    // 4-byte words (trace/packed.hh) the step loop decodes in
+    // registers, skipping the per-record MemRef unpack entirely.
+    // The first refill against a source with no packed path latches
+    // packedMode off for the process's lifetime.
+    if (p.packedMode) {
+        const std::size_t got = p.proc.source->nextBatchPacked(
+            p.pbuffer.data(), kRefBatch);
+        if (got != trace::TraceSource::kNoPacked) {
+            p.bufLen = got;
+            p.bufPos = 0;
+            if (prefetchStoreL2) {
+                for (std::size_t i = 0; i < got; ++i) {
+                    const std::uint32_t w = p.pbuffer[i];
+                    if (trace::packed::isStore(w))
+                        sys.prefetchL2Data(trace::packed::addrOf(w));
+                }
+            }
+            return got > 0;
+        }
+        p.packedMode = false;
+    }
+
     p.bufLen = p.proc.source->nextBatch(p.buffer.data(), kRefBatch);
     p.bufPos = 0;
+
+    // Under write-through policies every store probes the
+    // data-side L2, whose multi-megabyte tag arrays dwarf the host
+    // cache; prefetch those sets one batch ahead.  The set index
+    // comes from address bits the OS page colouring keeps equal
+    // between virtual and physical (Section 2), so the untranslated
+    // address selects the right set -- and a stale prefetch only
+    // costs bandwidth, never correctness.  The L1 stores are small
+    // enough to stay host-cache-resident on their own; prefetching
+    // them too was measured a net loss (the sweep costs more than
+    // the hits it saves).
+    if (prefetchStoreL2) {
+        for (std::size_t i = 0; i < p.bufLen; ++i) {
+            const trace::MemRef &r = p.buffer[i];
+            if (r.isStore())
+                sys.prefetchL2Data(r.addr);
+        }
+    }
     return p.bufLen > 0;
 }
 
-bool
-Simulator::takeRef(ProcState &p, trace::MemRef &ref)
-{
-    if (p.bufPos == p.bufLen && !refill(p))
-        return false;
-    ref = p.buffer[p.bufPos++];
-    return true;
-}
-
-const trace::MemRef *
-Simulator::peekRef(ProcState &p)
-{
-    if (p.bufPos == p.bufLen && !refill(p))
-        return nullptr;
-    return &p.buffer[p.bufPos];
-}
-
+template <class Spec>
 bool
 Simulator::stepInstruction(ProcState &p, Cycles now, Cycles &cycles,
                            bool &syscall)
 {
-    trace::MemRef ref;
-    if (!takeRef(p, ref))
+    // Work on the refill buffer in place: one bounds check per ref,
+    // no 16-byte MemRef copies, and in packed mode the record
+    // decodes straight into registers.  The per-ref packedMode
+    // branches cost nothing: the flag is constant per process, so
+    // the host predicts them perfectly.
+    if (p.bufPos == p.bufLen && !refill(p)) [[unlikely]]
         return false;
-    if (!ref.isInst()) {
+
+    const auto malformed = [&]() [[noreturn]] {
         gaas_fatal("malformed trace for process ", p.proc.name,
                    ": data reference without a preceding "
                    "instruction");
+    };
+
+    // A refill below would overwrite the buffer slot the
+    // instruction record occupies; decode everything needed into
+    // locals first.
+    Addr iaddr;
+    if (p.packedMode) {
+        const std::uint32_t w = p.pbuffer[p.bufPos++];
+        if (!trace::packed::isInst(w)) [[unlikely]]
+            malformed();
+        iaddr = trace::packed::addrOf(w);
+        syscall = trace::packed::flagOf(w);
+    } else {
+        const trace::MemRef &ref = p.buffer[p.bufPos++];
+        if (!ref.isInst()) [[unlikely]]
+            malformed();
+        iaddr = ref.addr;
+        syscall = ref.syscall;
     }
 
     // Base cost: one cycle plus this benchmark's CPU stalls (loads,
@@ -68,28 +186,58 @@ Simulator::stepInstruction(ProcState &p, Cycles now, Cycles &cycles,
     cpuStallCycles += stall_cycles;
     cycles = 1 + stall_cycles;
 
-    cycles += sys.ifetch(now, p.proc.pid, ref.addr);
+    cycles += sys.ifetchT<Spec>(now, p.proc.pid, iaddr);
 
-    // At most one data reference belongs to this instruction.
-    if (const trace::MemRef *data = peekRef(p);
-        data && data->isData()) {
-        trace::MemRef dref;
-        takeRef(p, dref);
-        if (dref.isLoad()) {
-            cycles += sys.load(now + cycles, p.proc.pid, dref.addr);
+    // At most one data reference belongs to this instruction (it may
+    // sit in the next batch; a failed refill leaves the buffer empty
+    // and the instruction simply has no data ref).
+    if (p.bufPos == p.bufLen) [[unlikely]]
+        refill(p);
+    if (p.bufPos < p.bufLen) [[likely]] {
+        if (p.packedMode) {
+            const std::uint32_t w = p.pbuffer[p.bufPos];
+            const trace::RefKind kind = trace::packed::kindOf(w);
+            if (kind != trace::RefKind::Inst) {
+                ++p.bufPos;
+                const Addr daddr = trace::packed::addrOf(w);
+                if (kind == trace::RefKind::Load) {
+                    cycles += sys.loadT<Spec>(now + cycles,
+                                              p.proc.pid, daddr);
+                } else {
+                    cycles += sys.storeT<Spec>(
+                        now + cycles, p.proc.pid, daddr,
+                        trace::packed::flagOf(w));
+                }
+            }
         } else {
-            cycles += sys.store(now + cycles, p.proc.pid, dref.addr,
-                                dref.partialWord);
+            const trace::MemRef &dref = p.buffer[p.bufPos];
+            if (dref.isData()) {
+                ++p.bufPos;
+                if (dref.isLoad()) {
+                    cycles += sys.loadT<Spec>(now + cycles,
+                                              p.proc.pid, dref.addr);
+                } else {
+                    cycles += sys.storeT<Spec>(
+                        now + cycles, p.proc.pid, dref.addr,
+                        dref.partialWord);
+                }
+            }
         }
     }
 
-    syscall = ref.syscall;
     ++p.instructions;
     return true;
 }
 
 void
 Simulator::runLoop(Count n)
+{
+    (this->*loopFn)(n);
+}
+
+template <class Spec>
+void
+Simulator::runLoopT(Count n)
 {
     auto next_alive = [&](std::size_t from) {
         std::size_t idx = from;
@@ -108,7 +256,7 @@ Simulator::runLoop(Count n)
 
         Cycles cycles = 0;
         bool syscall = false;
-        if (!stepInstruction(p, now, cycles, syscall)) {
+        if (!stepInstruction<Spec>(p, now, cycles, syscall)) {
             // Trace exhausted (non-looping workload): retire the
             // process and hand the CPU to the next one.
             p.alive = false;
@@ -120,7 +268,8 @@ Simulator::runLoop(Count n)
             continue;
         }
 
-        if (watchdogCycles != 0 && cycles > watchdogCycles) {
+        if (watchdogCycles != 0 && cycles > watchdogCycles)
+            [[unlikely]] {
             gaas_error(ErrorCode::Watchdog, "config '", cfg.name,
                        "': one instruction cost ", cycles,
                        " cycles (watchdog budget ", watchdogCycles,
@@ -133,7 +282,7 @@ Simulator::runLoop(Count n)
 
         // A voluntary system call switches immediately; otherwise
         // the process runs out its time slice (Section 3).
-        if (syscall || now >= sliceEnd) {
+        if (syscall || now >= sliceEnd) [[unlikely]] {
             ++contextSwitches;
             if (syscall)
                 ++syscallSwitches;

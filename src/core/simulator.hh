@@ -48,6 +48,19 @@ class Simulator
     const CacheSystem &system() const { return sys; }
 
     /**
+     * Force the generic (runtime-dispatched) access path instead of
+     * the compile-time specialized simulate loop the configuration
+     * would normally select.  The two paths are bit-identical by
+     * construction; the equivalence tests prove it through this
+     * switch.  Honoured from the environment too: set
+     * GAAS_SIM_GENERIC=1 to force the generic path process-wide.
+     */
+    void setForceGenericPath(bool force);
+
+    /** True if the generic path is in use (forced or fallback). */
+    bool usingGenericPath() const { return genericPath; }
+
+    /**
      * Arm the zero-progress watchdog: if any single instruction
      * costs more than @p budget_cycles, run() throws
      * SimError(Watchdog) instead of burning the cycle budget on a
@@ -63,7 +76,7 @@ class Simulator
     /** References buffered per process per TraceSource::nextBatch
      *  call, so the hot loop pays one virtual call per kRefBatch
      *  references instead of one per reference. */
-    static constexpr std::size_t kRefBatch = 64;
+    static constexpr std::size_t kRefBatch = 256;
 
     /** Scheduler-side state of one process. */
     struct ProcState
@@ -73,11 +86,21 @@ class Simulator
         bool alive = true;
         Count instructions = 0;
 
-        /** @name Refill buffer (buffer[bufPos..bufLen) pending) */
+        /**
+         * @name Refill buffer ([bufPos..bufLen) pending)
+         * Two representations: sources with packed storage (arena
+         * replay) fill pbuffer with raw 4-byte words the step loop
+         * decodes straight into registers; everything else fills
+         * buffer with unpacked MemRefs.  packedMode picks the
+         * representation, latched off forever on the first refill
+         * where the source reports no packed path.
+         */
         ///@{
         std::array<trace::MemRef, kRefBatch> buffer;
+        std::array<std::uint32_t, kRefBatch> pbuffer;
         std::size_t bufPos = 0;
         std::size_t bufLen = 0;
+        bool packedMode = true;
         ///@}
     };
 
@@ -85,21 +108,31 @@ class Simulator
      *  exhausted. */
     bool refill(ProcState &p);
 
-    bool takeRef(ProcState &p, trace::MemRef &ref);
-    const trace::MemRef *peekRef(ProcState &p);
-
     /**
-     * Execute one instruction of @p p at time @p now.
+     * Execute one instruction of @p p at time @p now, through the
+     * access path selected by @p Spec.
      *
      * @param cycles   filled with the instruction's total cycles
      * @param syscall  true if the instruction was a system call
      * @retval false   the process's trace is exhausted
      */
+    template <class Spec>
     bool stepInstruction(ProcState &p, Cycles now, Cycles &cycles,
                          bool &syscall);
 
-    /** Advance the scheduler/machine by up to @p n instructions. */
+    /** Advance the scheduler/machine by up to @p n instructions
+     *  (dispatches to the runLoopT selected at construction). */
     void runLoop(Count n);
+
+    /** The simulate loop, specialized per access-path spec. */
+    template <class Spec>
+    void runLoopT(Count n);
+
+    using LoopFn = void (Simulator::*)(Count);
+
+    /** Select the runLoopT instantiation for the configuration
+     *  (also records the choice in genericPath). */
+    LoopFn pickLoop();
 
     /** Zero the measured statistics (cache state persists). */
     void resetMeasurement();
@@ -115,6 +148,16 @@ class Simulator
     std::size_t alive = 0;
     Cycles sliceEnd = 0;
     Cycles watchdogCycles = 0; //!< 0 = watchdog off
+    ///@}
+
+    /** @name Access-path selection (fixed per configuration) */
+    ///@{
+    LoopFn loopFn = nullptr;
+    bool forceGeneric = false; //!< setter or GAAS_SIM_GENERIC
+    bool genericPath = true;   //!< what pickLoop() last chose
+    /** Write-through stores probe L2 every time; prefetch those
+     *  sets at batch-refill. */
+    bool prefetchStoreL2 = false;
     ///@}
 
     /** @name Measured since the last resetMeasurement() */

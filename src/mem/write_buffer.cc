@@ -41,13 +41,18 @@ WriteBuffer::WriteBuffer(const WriteBufferConfig &config) : cfg(config)
                    ") must be less than the drain time (",
                    cfg.drainCycles, ")");
     }
+    std::size_t cap = 1;
+    while (cap < cfg.depth + 1)
+        cap <<= 1;
+    ring.resize(cap);
+    ringMask = cap - 1;
 }
 
 void
 WriteBuffer::expire(Cycles now)
 {
-    while (!entries.empty() && entries.front().completeAt <= now)
-        entries.pop_front();
+    while (!ringEmpty() && front().completeAt <= now)
+        popFront();
 }
 
 Cycles
@@ -57,7 +62,7 @@ WriteBuffer::scheduleCompletion(Cycles now)
     // L2 back to back and overlaps the latency cycles; an entry that
     // finds the buffer idle pays the full access time.  After
     // expire(now), a non-empty buffer implies lastComplete > now.
-    const bool streamed = !entries.empty();
+    const bool streamed = !ringEmpty();
     const Cycles start = streamed ? lastComplete : now;
     const Cycles cost =
         cfg.drainCycles - (streamed ? cfg.streamOverlap : 0);
@@ -72,17 +77,17 @@ WriteBuffer::push(Cycles now, Addr addr)
     ++wbStats.pushes;
 
     Cycles stall = 0;
-    if (entries.size() >= cfg.depth) {
+    if (ringSize() >= cfg.depth) {
         // Producer stalls until the oldest entry retires.
-        stall = entries.front().completeAt - now;
+        stall = front().completeAt - now;
         ++wbStats.fullStalls;
         wbStats.fullStallCycles += stall;
         expire(now + stall);
     }
 
-    entries.push_back(Entry{addr, scheduleCompletion(now + stall)});
+    pushBack(Entry{addr, scheduleCompletion(now + stall)});
     wbStats.maxOccupancy = std::max<Count>(wbStats.maxOccupancy,
-                                           entries.size());
+                                           ringSize());
     return stall;
 }
 
@@ -90,10 +95,10 @@ Cycles
 WriteBuffer::drainAll(Cycles now)
 {
     expire(now);
-    if (entries.empty())
+    if (ringEmpty())
         return 0;
-    const Cycles stall = entries.back().completeAt - now;
-    entries.clear();
+    const Cycles stall = back().completeAt - now;
+    head = tail;
     ++wbStats.drainWaits;
     wbStats.drainWaitCycles += stall;
     return stall;
@@ -109,22 +114,21 @@ WriteBuffer::drainLine(Cycles now, Addr line_addr, unsigned line_bytes)
 
     // Find the *youngest* matching entry: all entries ahead of it,
     // inclusive, must be flushed to keep L2 consistent (Section 9).
-    std::size_t match = entries.size();
-    for (std::size_t i = entries.size(); i-- > 0;) {
-        if ((entries[i].addr & line_mask) == (line_addr & line_mask)) {
+    std::size_t match = ringSize();
+    for (std::size_t i = ringSize(); i-- > 0;) {
+        if ((entryAt(i).addr & line_mask) ==
+            (line_addr & line_mask)) {
             match = i;
             break;
         }
     }
-    if (match == entries.size()) {
+    if (match == ringSize()) {
         ++wbStats.bypasses;
         return 0;
     }
 
-    const Cycles stall = entries[match].completeAt - now;
-    entries.erase(entries.begin(),
-                  entries.begin() + static_cast<std::ptrdiff_t>(match) +
-                      1);
+    const Cycles stall = entryAt(match).completeAt - now;
+    head += match + 1;
     ++wbStats.drainWaits;
     wbStats.drainWaitCycles += stall;
     return stall;
@@ -133,15 +137,15 @@ WriteBuffer::drainLine(Cycles now, Addr line_addr, unsigned line_bytes)
 bool
 WriteBuffer::empty(Cycles now) const
 {
-    return entries.empty() || entries.back().completeAt <= now;
+    return ringEmpty() || back().completeAt <= now;
 }
 
 unsigned
 WriteBuffer::occupancy(Cycles now) const
 {
     unsigned n = 0;
-    for (const auto &e : entries) {
-        if (e.completeAt > now)
+    for (std::size_t i = 0; i < ringSize(); ++i) {
+        if (entryAt(i).completeAt > now)
             ++n;
     }
     return n;

@@ -19,7 +19,7 @@
 #define GAAS_MEM_WRITE_BUFFER_HH
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "util/types.hh"
 
@@ -128,8 +128,44 @@ class WriteBuffer
 
     Cycles scheduleCompletion(Cycles now);
 
+    /** @name Fixed ring storage
+     *  The buffer is at most 8 deep, so entries live in a
+     *  power-of-two ring indexed by free-running head/tail counters
+     *  (size = tail - head); push() runs on every store under the
+     *  write-through policies and a deque was measurably slower.
+     */
+    ///@{
+    std::size_t ringSize() const { return tail - head; }
+    bool ringEmpty() const { return head == tail; }
+
+    Entry &entryAt(std::size_t i) { return ring[(head + i) & ringMask]; }
+
+    const Entry &
+    entryAt(std::size_t i) const
+    {
+        return ring[(head + i) & ringMask];
+    }
+
+    Entry &front() { return ring[head & ringMask]; }
+    const Entry &front() const { return ring[head & ringMask]; }
+    Entry &back() { return ring[(tail - 1) & ringMask]; }
+    const Entry &back() const { return ring[(tail - 1) & ringMask]; }
+
+    void
+    pushBack(Entry e)
+    {
+        ring[tail & ringMask] = e;
+        ++tail;
+    }
+
+    void popFront() { ++head; }
+    ///@}
+
     WriteBufferConfig cfg;
-    std::deque<Entry> entries;
+    std::vector<Entry> ring; //!< power-of-two capacity >= depth + 1
+    std::size_t ringMask = 0;
+    std::size_t head = 0; //!< free-running; oldest entry
+    std::size_t tail = 0; //!< free-running; one past youngest
     /** Completion time of the most recently scheduled entry. */
     Cycles lastComplete = 0;
     WriteBufferStats wbStats;

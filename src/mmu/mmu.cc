@@ -1,43 +1,12 @@
 #include "mmu.hh"
 
-#include "util/bitops.hh"
-
 namespace gaas::mmu
 {
-
-namespace
-{
-
-constexpr unsigned kPageShift = floorLog2(kPageBytes);
-
-} // namespace
 
 Mmu::Mmu(const MmuConfig &config)
     : cfg(config), itlb(config.itlb), dtlb(config.dtlb),
       table(config.pageTable)
 {
-}
-
-TranslateResult
-Mmu::translate(Tlb &tlb, Pid pid, Addr vaddr)
-{
-    TranslateResult res;
-    const std::uint64_t vpn = vaddr >> kPageShift;
-    res.tlbMiss = !tlb.access(pid, vpn);
-    res.paddr = table.translate(pid, vaddr);
-    return res;
-}
-
-TranslateResult
-Mmu::translateInst(Pid pid, Addr vaddr)
-{
-    return translate(itlb, pid, vaddr);
-}
-
-TranslateResult
-Mmu::translateData(Pid pid, Addr vaddr)
-{
-    return translate(dtlb, pid, vaddr);
 }
 
 } // namespace gaas::mmu

@@ -41,10 +41,18 @@ class Mmu
     explicit Mmu(const MmuConfig &config);
 
     /** Translate an instruction-fetch address for process @p pid. */
-    TranslateResult translateInst(Pid pid, Addr vaddr);
+    TranslateResult
+    translateInst(Pid pid, Addr vaddr)
+    {
+        return translate(itlb, pid, vaddr);
+    }
 
     /** Translate a data address for process @p pid. */
-    TranslateResult translateData(Pid pid, Addr vaddr);
+    TranslateResult
+    translateData(Pid pid, Addr vaddr)
+    {
+        return translate(dtlb, pid, vaddr);
+    }
 
     const TlbStats &itlbStats() const { return itlb.stats(); }
     const TlbStats &dtlbStats() const { return dtlb.stats(); }
@@ -60,7 +68,26 @@ class Mmu
     const MmuConfig &config() const { return cfg; }
 
   private:
-    TranslateResult translate(Tlb &tlb, Pid pid, Addr vaddr);
+    /** One reference's translation work: TLB probe + page table.
+     *  A TLB hit serves the translation from the entry's cached
+     *  frame number; only misses consult the page table (and
+     *  backfill the refilled entry).  Inline for the same reason
+     *  Tlb::access is. */
+    TranslateResult
+    translate(Tlb &tlb, Pid pid, Addr vaddr)
+    {
+        TranslateResult res;
+        std::uint64_t pfn;
+        if (tlb.access(pid, vaddr >> kPageShift, pfn)) [[likely]] {
+            res.paddr = (pfn << kPageShift) |
+                        (vaddr & (kPageBytes - 1));
+            return res;
+        }
+        res.tlbMiss = true;
+        res.paddr = table.translate(pid, vaddr);
+        tlb.fillPfn(res.paddr >> kPageShift);
+        return res;
+    }
 
     MmuConfig cfg;
     Tlb itlb;

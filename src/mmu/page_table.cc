@@ -6,13 +6,6 @@
 namespace gaas::mmu
 {
 
-namespace
-{
-
-constexpr unsigned kPageShift = floorLog2(kPageBytes);
-
-} // namespace
-
 PageTable::PageTable(const PageTableConfig &config)
     : cfg(config), rng(config.seed)
 {
@@ -42,10 +35,17 @@ PageTable::frameFor(Pid pid, std::uint64_t vpn)
 }
 
 Addr
-PageTable::translate(Pid pid, Addr vaddr)
+PageTable::translateSlow(Pid pid, Addr vaddr)
 {
     const std::uint64_t vpn = vaddr >> kPageShift;
     const std::uint64_t pfn = frameFor(pid, vpn);
+
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(pid) << 48) | vpn;
+    const std::size_t slot = static_cast<std::size_t>(
+        (key * 0x9e3779b97f4a7c15ull) >> kMemoShift);
+    memo[slot] = MemoEntry{key + 1, pfn};
+
     return (pfn << kPageShift) | (vaddr & mask(kPageShift));
 }
 

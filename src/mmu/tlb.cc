@@ -33,40 +33,12 @@ Tlb::Tlb(const TlbConfig &config) : cfg(config)
     entries.assign(cfg.entries, Entry{});
 }
 
-bool
-Tlb::access(Pid pid, std::uint64_t vpn)
-{
-    ++tlbStats.accesses;
-    const std::uint64_t tag =
-        (static_cast<std::uint64_t>(pid) << 52) | vpn;
-    const unsigned set = static_cast<unsigned>(vpn & (sets - 1));
-    Entry *base = &entries[static_cast<std::size_t>(set) * cfg.assoc];
-
-    Entry *victim = base;
-    for (unsigned way = 0; way < cfg.assoc; ++way) {
-        Entry &e = base[way];
-        if (e.valid && e.tag == tag) {
-            e.lru = ++lruClock;
-            return true;
-        }
-        if (!victim->valid)
-            continue;
-        if (!e.valid || e.lru < victim->lru)
-            victim = &e;
-    }
-
-    ++tlbStats.misses;
-    victim->tag = tag;
-    victim->valid = true;
-    victim->lru = ++lruClock;
-    return false;
-}
-
 void
 Tlb::flush()
 {
     for (auto &e : entries)
-        e.valid = false;
+        e.tag = kInvalidTag;
+    lastTag = kInvalidTag;
 }
 
 } // namespace gaas::mmu

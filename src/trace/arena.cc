@@ -1,5 +1,7 @@
 #include "arena.hh"
 
+#include "trace/packed.hh"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -16,46 +18,20 @@ namespace
 {
 
 /**
- * Packed reference layout, 4 bytes per record:
- *
- *   bits [31:3]  word index (byte address >> 2)
- *   bits [2:1]   RefKind
- *   bit  [0]     syscall (Inst) / partialWord (Store)
- *
- * Every address the synthetic models emit is word aligned and below
- * 2^31 (layout::kStackTop = 0x7fff'0000 is the ceiling), so the
- * word index fits the 29 bits exactly.  The flag bit is shared:
- * syscall is only meaningful on Inst records and partialWord only on
- * Store records, which packRef() checks.
+ * Pack @p ref for arena storage (see trace/packed.hh for the
+ * layout), rejecting records the 4-byte format cannot represent.
  */
 std::uint32_t
 packRef(const MemRef &ref)
 {
-    const bool flag = ref.syscall || ref.partialWord;
-    if ((ref.addr & 3) != 0 || (ref.addr >> 31) != 0 ||
-        (ref.syscall && !ref.isInst()) ||
-        (ref.partialWord && !ref.isStore())) {
+    if (!packed::packable(ref)) {
         gaas_error(ErrorCode::Internal,
                    "trace arena cannot pack reference (addr 0x",
                    ref.addr, ", kind ", refKindName(ref.kind),
                    "); only word-aligned sub-2^31 streams are "
                    "arena-able -- set GAAS_BENCH_ARENA=0");
     }
-    return static_cast<std::uint32_t>(ref.addr >> 2) << 3 |
-           static_cast<std::uint32_t>(ref.kind) << 1 |
-           static_cast<std::uint32_t>(flag);
-}
-
-MemRef
-unpackRef(std::uint32_t word)
-{
-    MemRef ref;
-    ref.addr = static_cast<Addr>(word >> 3) << 2;
-    ref.kind = static_cast<RefKind>((word >> 1) & 3u);
-    const bool flag = (word & 1u) != 0;
-    ref.syscall = flag && ref.kind == RefKind::Inst;
-    ref.partialWord = flag && ref.kind == RefKind::Store;
-    return ref;
+    return packed::pack(ref);
 }
 
 constexpr std::size_t kUnknownPassLen =
@@ -233,7 +209,7 @@ ArenaStream::read(std::size_t pos, MemRef *out, std::size_t n)
                 const std::uint32_t *data =
                     blocks[block].load(std::memory_order_relaxed);
                 for (std::size_t i = 0; i < run; ++i)
-                    out[produced + i] = unpackRef(data[off + i]);
+                    out[produced + i] = packed::unpack(data[off + i]);
                 produced += run;
                 pos += run;
                 take -= run;
@@ -243,6 +219,38 @@ ArenaStream::read(std::size_t pos, MemRef *out, std::size_t n)
         // pos == pub: either the pass is over or the stream must
         // grow.  ensure() guarantees progress: on return either the
         // published length or the pass length has advanced past pos.
+        if (passLen.load(std::memory_order_acquire) == pub)
+            break;
+        ensure(pos + (n - produced));
+    }
+    return produced;
+}
+
+std::size_t
+ArenaStream::readPacked(std::size_t pos, std::uint32_t *out,
+                        std::size_t n)
+{
+    std::size_t produced = 0;
+    while (produced < n) {
+        const std::size_t pub =
+            published.load(std::memory_order_acquire);
+        if (pos < pub) {
+            std::size_t take = std::min(n - produced, pub - pos);
+            while (take > 0) {
+                const std::size_t block = pos / kBlockRefs;
+                const std::size_t off = pos % kBlockRefs;
+                const std::size_t run =
+                    std::min(take, kBlockRefs - off);
+                const std::uint32_t *data =
+                    blocks[block].load(std::memory_order_relaxed);
+                std::copy_n(data + off, run, out + produced);
+                produced += run;
+                pos += run;
+                take -= run;
+            }
+            continue;
+        }
+        // Same growth protocol as read() above.
         if (passLen.load(std::memory_order_acquire) == pub)
             break;
         ensure(pos + (n - produced));
@@ -361,6 +369,14 @@ std::size_t
 ArenaSource::nextBatch(MemRef *out, std::size_t n)
 {
     const std::size_t got = stream->read(pos, out, n);
+    pos += got;
+    return got;
+}
+
+std::size_t
+ArenaSource::nextBatchPacked(std::uint32_t *out, std::size_t n)
+{
+    const std::size_t got = stream->readPacked(pos, out, n);
     pos += got;
     return got;
 }

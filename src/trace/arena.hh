@@ -98,6 +98,13 @@ class ArenaStream
      */
     std::size_t read(std::size_t pos, MemRef *out, std::size_t n);
 
+    /**
+     * read(), but copying the raw packed words (trace/packed.hh)
+     * without unpacking: the simulate loop's replay fast path.
+     */
+    std::size_t readPacked(std::size_t pos, std::uint32_t *out,
+                           std::size_t n);
+
     /** References published so far (high-water mark). */
     std::size_t publishedRefs() const
     {
@@ -117,7 +124,7 @@ class ArenaStream
     static constexpr std::size_t kBlockRefs = std::size_t{1} << 18;
 
     /** Smallest growth chunk, so short runs do not generate one
-     *  simulator batch (64 refs) per mutex acquisition. */
+     *  simulator batch per mutex acquisition. */
     static constexpr std::size_t kMinChunk = std::size_t{1} << 16;
 
     /** Append @p n records to the blocks (growth mutex held). */
@@ -223,6 +230,8 @@ class ArenaSource : public TraceSource
 
     bool next(MemRef &ref) override;
     std::size_t nextBatch(MemRef *out, std::size_t n) override;
+    std::size_t nextBatchPacked(std::uint32_t *out,
+                                std::size_t n) override;
     void reset() override { pos = 0; }
     std::string name() const override { return label; }
 

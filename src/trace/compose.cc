@@ -110,6 +110,25 @@ LoopSource::nextBatch(MemRef *out, std::size_t n)
     return produced;
 }
 
+std::size_t
+LoopSource::nextBatchPacked(std::uint32_t *out, std::size_t n)
+{
+    std::size_t produced = inner->nextBatchPacked(out, n);
+    if (produced == kNoPacked)
+        return kNoPacked;
+    // Wrap exactly as nextBatch() does.
+    while (produced < n) {
+        inner->reset();
+        ++wrapCount;
+        const std::size_t got =
+            inner->nextBatchPacked(out + produced, n - produced);
+        if (got == 0)
+            break; // empty even after a reset: give up, as next()
+        produced += got;
+    }
+    return produced;
+}
+
 void
 LoopSource::reset()
 {

@@ -47,6 +47,8 @@ class LoopSource : public TraceSource
 
     bool next(MemRef &ref) override;
     std::size_t nextBatch(MemRef *out, std::size_t n) override;
+    std::size_t nextBatchPacked(std::uint32_t *out,
+                                std::size_t n) override;
     void reset() override;
     std::string name() const override;
 

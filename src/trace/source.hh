@@ -58,6 +58,24 @@ class TraceSource
         return produced;
     }
 
+    /** nextBatchPacked() result of a source with no packed path. */
+    static constexpr std::size_t kNoPacked = ~std::size_t{0};
+
+    /**
+     * Packed replay fast path: produce up to @p n records as packed
+     * 4-byte words (trace/packed.hh) -- the same records nextBatch()
+     * would produce, minus the per-record unpack.  Only sources that
+     * already hold packed storage (the arena view, and wrappers
+     * around it) implement this; everything else reports kNoPacked
+     * and the consumer falls back to nextBatch() for good.
+     */
+    virtual std::size_t
+    nextBatchPacked(std::uint32_t *out, std::size_t n)
+    {
+        (void)out, (void)n;
+        return kNoPacked;
+    }
+
     /** Restart the stream from its beginning (deterministically). */
     virtual void reset() = 0;
 

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal aligned allocator, for hot arrays that want to start on a
+ * host cache line (e.g. the tag store's packed tag words, so one
+ * set's tags never straddle two lines).
+ */
+
+#ifndef GAAS_UTIL_ALIGNED_HH
+#define GAAS_UTIL_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+
+namespace gaas::util
+{
+
+/** Host cache-line size assumed by the aligned hot arrays. */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/** std::allocator drop-in that over-aligns every allocation. */
+template <class T, std::size_t Align = kCacheLineBytes>
+struct AlignedAllocator
+{
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                  "alignment must be a power of two >= alignof(T)");
+
+    using value_type = T;
+
+    /** Explicit rebind: allocator_traits cannot synthesize one
+     *  across the non-type Align parameter. */
+    template <class U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    AlignedAllocator() = default;
+
+    template <class U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &)
+    {}
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t{Align}));
+    }
+
+    void
+    deallocate(T *p, std::size_t)
+    {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+
+    template <class U>
+    bool
+    operator==(const AlignedAllocator<U, Align> &) const
+    {
+        return true;
+    }
+};
+
+} // namespace gaas::util
+
+#endif // GAAS_UTIL_ALIGNED_HH

@@ -84,27 +84,26 @@ TEST(TagStore, AddressDissection)
 TEST(TagStore, MissThenHit)
 {
     TagStore store(directMapped(4 * 1024), "test");
-    EXPECT_EQ(store.find(0x1000), nullptr);
+    EXPECT_FALSE(store.find(0x1000));
     Eviction ev;
-    LineState &line = store.allocate(0x1000, ev);
+    TagStore::Ref line = store.allocate(0x1000, ev);
     EXPECT_FALSE(ev.valid);
-    EXPECT_TRUE(line.valid);
-    EXPECT_FALSE(line.dirty);
-    EXPECT_FALSE(line.writeOnly);
-    EXPECT_EQ(line.validMask, store.fullMask());
+    EXPECT_TRUE(line.valid());
+    EXPECT_FALSE(line.dirty());
+    EXPECT_FALSE(line.writeOnly());
+    EXPECT_EQ(line.validMask(), store.fullMask());
     // Any word of the line hits.
-    EXPECT_EQ(store.find(0x1000), &line);
-    EXPECT_EQ(store.find(0x100c), &line);
+    EXPECT_EQ(store.find(0x1000), line);
+    EXPECT_EQ(store.find(0x100c), line);
     // The next line does not.
-    EXPECT_EQ(store.find(0x1010), nullptr);
+    EXPECT_FALSE(store.find(0x1010));
 }
 
 TEST(TagStore, EvictionReportsAddressAndDirty)
 {
     TagStore store(directMapped(4 * 1024), "test");
     Eviction ev;
-    LineState &line = store.allocate(0x1000, ev);
-    line.dirty = true;
+    store.allocate(0x1000, ev).setDirty(true);
 
     // Same set, different tag: 16KB away.
     store.allocate(0x1000 + 16 * 1024, ev);
@@ -122,13 +121,13 @@ TEST(TagStore, LruVictimSelection)
     store.allocate(a, ev);
     store.allocate(b, ev);
     // Touch A so B is LRU.
-    store.touch(*store.find(a));
+    store.touch(store.find(a));
     store.allocate(c, ev);
     EXPECT_TRUE(ev.valid);
     EXPECT_EQ(ev.lineAddr, b);
-    EXPECT_NE(store.find(a), nullptr);
-    EXPECT_EQ(store.find(b), nullptr);
-    EXPECT_NE(store.find(c), nullptr);
+    EXPECT_TRUE(store.find(a));
+    EXPECT_FALSE(store.find(b));
+    EXPECT_TRUE(store.find(c));
 }
 
 TEST(TagStore, VictimPrefersInvalidWay)
@@ -137,8 +136,9 @@ TEST(TagStore, VictimPrefersInvalidWay)
     Eviction ev;
     store.allocate(0x000, ev);
     // Second way of set 0 is still invalid; victim must be it.
-    LineState &victim = store.victim(0x040);
-    EXPECT_FALSE(victim.valid);
+    TagStore::Ref victim = store.victim(0x040);
+    ASSERT_TRUE(victim);
+    EXPECT_FALSE(victim.valid());
 }
 
 TEST(TagStore, InvalidateAll)
@@ -150,14 +150,14 @@ TEST(TagStore, InvalidateAll)
     EXPECT_EQ(store.validCount(), 2u);
     store.invalidateAll();
     EXPECT_EQ(store.validCount(), 0u);
-    EXPECT_EQ(store.find(0x0), nullptr);
+    EXPECT_FALSE(store.find(0x0));
 }
 
 TEST(TagStore, DirtyCount)
 {
     TagStore store(directMapped(1024), "test");
     Eviction ev;
-    store.allocate(0x0, ev).dirty = true;
+    store.allocate(0x0, ev).setDirty(true);
     store.allocate(0x100, ev);
     EXPECT_EQ(store.dirtyCount(), 1u);
 }
@@ -166,14 +166,40 @@ TEST(TagStore, WriteOnlyAndSubblockStateSurvivesFind)
 {
     TagStore store(directMapped(4 * 1024), "test");
     Eviction ev;
-    LineState &line = store.allocate(0x2000, ev);
-    line.writeOnly = true;
-    line.validMask = 0x2;
+    TagStore::Ref line = store.allocate(0x2000, ev);
+    line.setWriteOnly(true);
+    line.setValidMask(0x2);
     // find() is a pure tag probe: state is unchanged.
-    LineState *found = store.find(0x2004);
-    ASSERT_NE(found, nullptr);
-    EXPECT_TRUE(found->writeOnly);
-    EXPECT_EQ(found->validMask, 0x2u);
+    TagStore::Ref found = store.find(0x2004);
+    ASSERT_TRUE(found);
+    EXPECT_TRUE(found.writeOnly());
+    EXPECT_EQ(found.validMask(), 0x2u);
+}
+
+TEST(TagStore, DmAndAssocProbesAgree)
+{
+    // The direct-mapped and way-loop probe kernels must agree on
+    // every assoc == 1 store (the specialized loops pick one at
+    // compile time).
+    TagStore store(directMapped(4 * 1024), "test");
+    Eviction ev;
+    for (Addr addr = 0; addr < 128 * 1024; addr += 977 * 4) {
+        EXPECT_EQ(store.lookupDm(addr), store.lookupAssoc(addr));
+        store.allocate(addr, ev);
+        EXPECT_EQ(store.lookupDm(addr), store.lookupAssoc(addr));
+        EXPECT_NE(store.lookupDm(addr), TagStore::npos);
+    }
+}
+
+TEST(TagStore, InvalidateRestoresSentinel)
+{
+    TagStore store(directMapped(1024), "test");
+    Eviction ev;
+    store.allocate(0x40, ev).setDirty(true);
+    store.find(0x40).invalidate();
+    EXPECT_FALSE(store.find(0x40));
+    EXPECT_EQ(store.validCount(), 0u);
+    EXPECT_EQ(store.dirtyCount(), 0u);
 }
 
 /** Geometry sweep: allocate-then-find must hold for any shape. */
@@ -194,8 +220,8 @@ TEST_P(TagStoreGeometry, AllocateFindRoundTrip)
     for (Addr addr = 0; addr < 64 * 1024; addr += 1003 * 4) {
         if (!store.find(addr))
             store.allocate(addr, ev);
-        LineState *line = store.find(addr);
-        ASSERT_NE(line, nullptr);
+        TagStore::Ref line = store.find(addr);
+        ASSERT_TRUE(line);
         EXPECT_EQ(store.lineAddr(addr) % (line_words * 4), 0u);
     }
     EXPECT_LE(store.validCount(), store.config().lines());

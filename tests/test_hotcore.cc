@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Hot-core equivalence tests: the compile-time specialized simulate
+ * loops (FastAccessSpec, picked by Simulator::pickLoop) must be
+ * bit-identical to the generic runtime-dispatched path for every
+ * configuration class they cover.  Randomized reference streams are
+ * driven through both paths across direct-mapped / set-associative
+ * L1s and all four write policies, and the full stats dumps are
+ * compared byte for byte -- the same contract the golden harness
+ * enforces across releases, applied here across code paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/simulator.hh"
+#include "core/stats_dump.hh"
+#include "core/workload.hh"
+#include "trace/memref.hh"
+#include "trace/source.hh"
+#include "util/random.hh"
+
+namespace gaas::core
+{
+namespace
+{
+
+/**
+ * A well-formed random reference stream: every record group is one
+ * instruction followed by at most one data reference, addresses are
+ * word-aligned, and the address pattern mixes sequential runs with
+ * random jumps so both cache levels see hits, misses, writebacks
+ * and (at assoc > 1) LRU churn.
+ */
+std::vector<trace::MemRef>
+randomStream(std::uint64_t seed, std::size_t instructions)
+{
+    Rng rng(seed);
+    std::vector<trace::MemRef> refs;
+    refs.reserve(instructions * 2);
+
+    Addr iaddr = 0x40'0000;
+    for (std::size_t i = 0; i < instructions; ++i) {
+        // Mostly straight-line code, occasional jump to a new page.
+        if (rng.nextDouble() < 0.02)
+            iaddr = (rng.nextBounded(1u << 22) & ~Addr{3});
+        refs.push_back(
+            trace::instRef(iaddr, rng.nextDouble() < 0.001));
+        iaddr += 4;
+
+        const double roll = rng.nextDouble();
+        if (roll < 0.25) {
+            refs.push_back(trace::loadRef(
+                rng.nextBounded(1u << 20) & ~Addr{3}));
+        } else if (roll < 0.40) {
+            refs.push_back(trace::storeRef(
+                rng.nextBounded(1u << 20) & ~Addr{3},
+                rng.nextDouble() < 0.2));
+        }
+    }
+    return refs;
+}
+
+/** Two-process workload over independent random streams. */
+Workload
+randomWorkload(std::uint64_t seed, std::size_t instructions)
+{
+    Workload wl;
+    wl.add(std::make_unique<trace::VectorSource>(
+               "rnd-a", randomStream(seed, instructions)),
+           1.4, "rnd-a");
+    wl.add(std::make_unique<trace::VectorSource>(
+               "rnd-b", randomStream(seed ^ 0xabcdef, instructions)),
+           1.7, "rnd-b");
+    return wl;
+}
+
+/** Baseline reshaped to @p assoc L1s under @p policy. */
+SystemConfig
+configFor(unsigned assoc, WritePolicy policy)
+{
+    SystemConfig cfg = withWritePolicy(baseline(), policy);
+    cfg.l1i.assoc = assoc;
+    cfg.l1d.assoc = assoc;
+    cfg.name = "hotcore-a" + std::to_string(assoc);
+    return cfg;
+}
+
+std::string
+dumpText(const SimResult &res)
+{
+    std::ostringstream os;
+    dumpStats(res, os);
+    return os.str();
+}
+
+constexpr WritePolicy kPolicies[] = {
+    WritePolicy::WriteBack,
+    WritePolicy::WriteMissInvalidate,
+    WritePolicy::WriteOnly,
+    WritePolicy::SubblockPlacement,
+};
+
+TEST(HotCore, SpecializedMatchesGenericOnRandomStreams)
+{
+    constexpr std::size_t kInstructions = 8'000;
+    for (const unsigned assoc : {1u, 2u}) {
+        for (const WritePolicy policy : kPolicies) {
+            for (const std::uint64_t seed : {1ull, 42ull, 9001ull}) {
+                const SystemConfig cfg = configFor(assoc, policy);
+
+                Simulator fast(cfg,
+                               randomWorkload(seed, kInstructions));
+                ASSERT_FALSE(fast.usingGenericPath())
+                    << "policy " << writePolicyName(policy)
+                    << " assoc " << assoc
+                    << " should have a specialized loop";
+
+                Simulator generic(
+                    cfg, randomWorkload(seed, kInstructions));
+                generic.setForceGenericPath(true);
+                ASSERT_TRUE(generic.usingGenericPath());
+
+                const auto fastRes = fast.run(10'000, 2'000);
+                const auto genRes = generic.run(10'000, 2'000);
+                EXPECT_EQ(dumpText(fastRes), dumpText(genRes))
+                    << "policy " << writePolicyName(policy)
+                    << " assoc " << assoc << " seed " << seed;
+            }
+        }
+    }
+}
+
+TEST(HotCore, SpecializedMatchesGenericOnStandardWorkload)
+{
+    // The standard synthetic workload goes through the trace arena's
+    // packed replay path (when enabled), so this covers the packed
+    // decode under both access paths too.
+    for (const unsigned assoc : {1u, 2u}) {
+        const SystemConfig cfg =
+            configFor(assoc, WritePolicy::WriteBack);
+
+        Simulator fast(cfg, Workload::standard(4, 30'000));
+        ASSERT_FALSE(fast.usingGenericPath());
+        Simulator generic(cfg, Workload::standard(4, 30'000));
+        generic.setForceGenericPath(true);
+
+        const auto fastRes = fast.run(25'000, 5'000);
+        const auto genRes = generic.run(25'000, 5'000);
+        EXPECT_EQ(dumpText(fastRes), dumpText(genRes))
+            << "assoc " << assoc;
+    }
+}
+
+TEST(HotCore, MixedGeometryFallsBackToGeneric)
+{
+    SystemConfig cfg = configFor(1, WritePolicy::WriteBack);
+    cfg.l1d.assoc = 2; // mixed: dm I-side, 2-way D-side
+    Simulator sim(cfg, randomWorkload(7, 1'000));
+    EXPECT_TRUE(sim.usingGenericPath());
+}
+
+TEST(HotCore, EnvKnobForcesGenericPath)
+{
+    ::setenv("GAAS_SIM_GENERIC", "1", 1);
+    {
+        Simulator sim(configFor(1, WritePolicy::WriteBack),
+                      randomWorkload(3, 1'000));
+        EXPECT_TRUE(sim.usingGenericPath());
+    }
+    ::unsetenv("GAAS_SIM_GENERIC");
+    {
+        Simulator sim(configFor(1, WritePolicy::WriteBack),
+                      randomWorkload(3, 1'000));
+        EXPECT_FALSE(sim.usingGenericPath());
+    }
+}
+
+} // namespace
+} // namespace gaas::core

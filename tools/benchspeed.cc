@@ -6,23 +6,28 @@
  * organisations, the paper's heaviest sweep) twice in one process --
  * first with the trace arena disabled (per-job generators, the
  * pre-arena behaviour), then with it enabled -- and writes the
- * comparison to a JSON file (`BENCH_5.json` by default) so the
+ * comparison to a JSON file (`BENCH_6.json` by default) so the
  * repository's performance can be tracked run over run:
  *
- *   wall seconds and refs/s for both modes, the arena's stream
- *   hit rate / generation seconds / byte footprint, and the
- *   end-to-end speedup.
+ *   wall seconds and refs/s for both modes, a per-phase breakdown
+ *   (refs/s per L2 organisation of the ladder, from the sweep's
+ *   per-job telemetry), the arena's stream hit rate / generation
+ *   seconds / byte footprint, and the end-to-end speedup.
  *
  * The two modes must also be *correct* relative to each other: every
  * point's full stats dump is byte-compared across modes and any
  * difference is a hard failure.  `--smoke` shrinks the budgets to CI
  * scale and asserts only the invariants (arena reuse happened, modes
- * byte-identical) -- never absolute times; the ctest `perfsmoke`
- * label runs that mode.
+ * byte-identical) -- never absolute times.  `--floor REFS` turns the
+ * arena-on refs/s into a hard assertion: below the floor the exit
+ * status is nonzero, so the ctest `perfsmoke` label catches a silent
+ * hot-path regression (the floor is generous -- a fraction of the
+ * recorded rate -- so host noise does not flake the suite).
  *
- * Usage: benchspeed [--smoke] [--out FILE]
+ * Usage: benchspeed [--smoke] [--out FILE] [--floor REFS]
  */
 
+#include <array>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -43,36 +48,43 @@ namespace
 
 using namespace gaas;
 
+/** The ladder's organisation axis, in emission order: point i
+ *  belongs to organisation i % kOrgCount.  These are the "phases" of
+ *  the per-phase breakdown. */
+constexpr const char *kOrgNames[] = {"unified-1w", "unified-2w",
+                                     "split-1w", "split-2w"};
+constexpr std::size_t kOrgCount =
+    sizeof(kOrgNames) / sizeof(kOrgNames[0]);
+
 /** The pinned ladder: Fig. 6's 28 configurations. */
 std::vector<core::SweepJob>
 ladder(Count instructions, Count warmup, unsigned mp_level)
 {
     struct Org
     {
-        const char *name;
         core::L2Org org;
         unsigned assoc;
         Cycles accessTime;
     };
-    const Org orgs[] = {
-        {"unified-1w", core::L2Org::Unified, 1, 6},
-        {"unified-2w", core::L2Org::Unified, 2, 7},
-        {"split-1w", core::L2Org::LogicalSplit, 1, 6},
-        {"split-2w", core::L2Org::LogicalSplit, 2, 7},
+    const Org orgs[kOrgCount] = {
+        {core::L2Org::Unified, 1, 6},
+        {core::L2Org::Unified, 2, 7},
+        {core::L2Org::LogicalSplit, 1, 6},
+        {core::L2Org::LogicalSplit, 2, 7},
     };
     std::vector<core::SweepJob> jobs;
     for (std::uint64_t size = 16 * 1024; size <= 1024 * 1024;
          size *= 2) {
-        for (const auto &org : orgs) {
+        for (std::size_t o = 0; o < kOrgCount; ++o) {
             core::SweepJob job;
             job.config = core::afterWritePolicy();
             job.config.name = "l2-" +
                               std::to_string(size / 1024) + "k-" +
-                              org.name;
-            job.config.l2Org = org.org;
+                              kOrgNames[o];
+            job.config.l2Org = orgs[o].org;
             job.config.l2.cache.sizeWords = size;
-            job.config.l2.cache.assoc = org.assoc;
-            job.config.l2.accessTime = org.accessTime;
+            job.config.l2.cache.assoc = orgs[o].assoc;
+            job.config.l2.accessTime = orgs[o].accessTime;
             job.mpLevel = mp_level;
             job.instructions = instructions;
             job.warmup = warmup;
@@ -82,12 +94,27 @@ ladder(Count instructions, Count warmup, unsigned mp_level)
     return jobs;
 }
 
+/** One organisation's slice of a mode run. */
+struct PhaseStat
+{
+    Count refs = 0;          //!< measured references simulated
+    double simSeconds = 0.0; //!< sum of per-job sim seconds
+
+    double refsPerSecond() const
+    {
+        return simSeconds > 0.0
+                   ? static_cast<double>(refs) / simSeconds
+                   : 0.0;
+    }
+};
+
 struct ModeRun
 {
     double wallSeconds = 0.0;
     double refsPerSecond = 0.0;
     core::SweepStats stats;
     std::vector<std::string> dumps; //!< per-point stats text
+    std::array<PhaseStat, kOrgCount> phases{};
 };
 
 ModeRun
@@ -103,13 +130,18 @@ runMode(const std::vector<core::SweepJob> &jobs, bool arena_on)
         core::runSweepOutcomes(jobs, 0, &run.stats);
     run.wallSeconds = run.stats.wallSeconds;
     run.refsPerSecond = run.stats.refsPerSecond();
-    for (const auto &out : outcomes) {
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const auto &out = outcomes[i];
         if (out.status == core::PointStatus::Failed) {
             std::cerr << "benchspeed: point '"
                       << out.result.configName << "' failed: "
                       << out.error << "\n";
             std::exit(1);
         }
+        PhaseStat &phase = run.phases[i % kOrgCount];
+        phase.refs += out.result.references();
+        if (i < run.stats.perJob.size())
+            phase.simSeconds += run.stats.perJob[i].simSeconds;
         std::ostringstream os;
         core::dumpStats(out.result, os);
         run.dumps.push_back(os.str());
@@ -123,21 +155,57 @@ num(double v)
     return obs::JsonValue::number(v);
 }
 
+/** The per-phase breakdown of one mode, as a JSON array. */
+obs::JsonValue
+phasesJson(const ModeRun &run, std::size_t points_per_phase)
+{
+    obs::JsonValue arr = obs::JsonValue::array();
+    for (std::size_t o = 0; o < kOrgCount; ++o) {
+        const PhaseStat &p = run.phases[o];
+        obs::JsonValue one = obs::JsonValue::object();
+        one.members.emplace_back(
+            "organisation", obs::JsonValue::string(kOrgNames[o]));
+        one.members.emplace_back(
+            "points", num(static_cast<double>(points_per_phase)));
+        one.members.emplace_back(
+            "references", num(static_cast<double>(p.refs)));
+        one.members.emplace_back("sim_seconds",
+                                 num(p.simSeconds));
+        one.members.emplace_back("refs_per_second",
+                                 num(p.refsPerSecond()));
+        arr.items.push_back(std::move(one));
+    }
+    return arr;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    std::string outPath = "BENCH_5.json";
+    std::string outPath = "BENCH_6.json";
+    double floorRefs = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
         } else if (std::strcmp(argv[i], "--out") == 0 &&
                    i + 1 < argc) {
             outPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--floor") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            floorRefs = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' ||
+                floorRefs <= 0.0) {
+                std::cerr << "benchspeed: --floor needs a positive "
+                             "refs/s value, got '"
+                          << argv[i] << "'\n";
+                return 2;
+            }
         } else {
-            std::cerr << "usage: benchspeed [--smoke] [--out FILE]\n";
+            std::cerr << "usage: benchspeed [--smoke] [--out FILE] "
+                         "[--floor REFS]\n";
             return 2;
         }
     }
@@ -148,6 +216,7 @@ main(int argc, char **argv)
     const Count warmup = smoke ? 5'000 : 500'000;
     const unsigned mp = smoke ? 4 : 8;
     const auto jobs = ladder(instructions, warmup, mp);
+    const std::size_t pointsPerPhase = jobs.size() / kOrgCount;
 
     std::cout << "benchspeed: " << jobs.size()
               << "-point fig6 ladder, " << instructions
@@ -166,6 +235,11 @@ main(int argc, char **argv)
               << on.refsPerSecond << " refs/s, "
               << on.stats.arenaStreamsGenerated << " streams gen / "
               << on.stats.arenaStreamsReused << " reused\n";
+    for (std::size_t o = 0; o < kOrgCount; ++o)
+        std::cout << "    " << kOrgNames[o] << ": "
+                  << on.phases[o].refsPerSecond()
+                  << " refs/s over " << pointsPerPhase
+                  << " point(s)\n";
 
     int rc = 0;
     if (off.dumps != on.dumps) {
@@ -180,6 +254,12 @@ main(int argc, char **argv)
     if (on.stats.arenaStreamsReused == 0) {
         std::cerr << "benchspeed: FAIL: arena-on run reused no "
                      "streams (arena path not exercised)\n";
+        rc = 1;
+    }
+    if (floorRefs > 0.0 && on.refsPerSecond < floorRefs) {
+        std::cerr << "benchspeed: FAIL: arena-on rate "
+                  << on.refsPerSecond << " refs/s is below the floor "
+                  << floorRefs << " refs/s\n";
         rc = 1;
     }
 
@@ -211,12 +291,16 @@ main(int argc, char **argv)
                              num(static_cast<double>(mp)));
     doc.members.emplace_back(
         "workers", num(static_cast<double>(off.stats.workers)));
+    doc.members.emplace_back("floor_refs_per_second",
+                             num(floorRefs));
 
     obs::JsonValue offJson = obs::JsonValue::object();
     offJson.members.emplace_back("wall_seconds",
                                  num(off.wallSeconds));
     offJson.members.emplace_back("refs_per_second",
                                  num(off.refsPerSecond));
+    offJson.members.emplace_back("phases",
+                                 phasesJson(off, pointsPerPhase));
     doc.members.emplace_back("arena_off", std::move(offJson));
 
     obs::JsonValue onJson = obs::JsonValue::object();
@@ -224,6 +308,8 @@ main(int argc, char **argv)
                                 num(on.wallSeconds));
     onJson.members.emplace_back("refs_per_second",
                                 num(on.refsPerSecond));
+    onJson.members.emplace_back("phases",
+                                phasesJson(on, pointsPerPhase));
     onJson.members.emplace_back(
         "streams_generated",
         num(static_cast<double>(on.stats.arenaStreamsGenerated)));

@@ -96,8 +96,8 @@ main(int argc, char **argv)
                 break;
             }
             ++accesses;
-            if (cache::LineState *line = store.find(ref.addr)) {
-                store.touch(*line);
+            if (cache::TagStore::Ref line = store.find(ref.addr)) {
+                store.touch(line);
             } else {
                 ++misses;
                 cache::Eviction ev;
