@@ -25,6 +25,7 @@ namespace
 struct Options
 {
     bool progress = false;
+    bool sample = false;
     std::string statsJsonDir;
     std::string resumeDir;
 
@@ -56,11 +57,16 @@ usage(const char *prog, int exit_code)
 {
     (exit_code == 0 ? std::cout : std::cerr)
         << "usage: " << prog
-        << " [--progress] [--stats-json DIR] [--resume DIR]\n"
+        << " [--progress] [--stats-json DIR] [--resume DIR]"
+        << " [--sample]\n"
         << "  --progress        stderr line per finished point\n"
         << "  --stats-json DIR  one JSON stats dump per point\n"
         << "  --resume DIR      journal points into DIR and skip\n"
-        << "                    points an earlier run completed\n";
+        << "                    points an earlier run completed\n"
+        << "  --sample          sampled simulation: each point\n"
+        << "                    measures systematic intervals and\n"
+        << "                    reports CPI with a 95% confidence\n"
+        << "                    interval (GAAS_BENCH_SAMPLE_* knobs)\n";
     std::exit(exit_code);
 }
 
@@ -125,6 +131,8 @@ init(int argc, char **argv)
             usage(prog, 0);
         } else if (arg == "--progress") {
             options.progress = true;
+        } else if (arg == "--sample") {
+            options.sample = true;
         } else if (arg == "--stats-json") {
             if (i + 1 >= argc) {
                 std::cerr << prog << ": --stats-json needs a "
@@ -181,6 +189,33 @@ watchdogBudget()
     return envU64("GAAS_BENCH_WATCHDOG", 0);
 }
 
+core::SamplingConfig
+samplingPlan()
+{
+    core::SamplingConfig plan;
+    if (!options.sample) {
+        const char *env = std::getenv("GAAS_BENCH_SAMPLE");
+        if (!env || !*env || std::string_view(env) == "0")
+            return plan; // disabled: full-detail simulation
+    }
+    plan.enabled = true;
+    plan.measureInstructions = envU64("GAAS_BENCH_SAMPLE_MEASURE",
+                                      plan.measureInstructions);
+    plan.headInstructions =
+        envU64("GAAS_BENCH_SAMPLE_HEAD", plan.headInstructions);
+    plan.warmInstructions =
+        envU64("GAAS_BENCH_SAMPLE_WARM", plan.warmInstructions);
+    plan.minIntervals =
+        envU64("GAAS_BENCH_SAMPLE_MIN", plan.minIntervals);
+    plan.maxIntervals =
+        envU64("GAAS_BENCH_SAMPLE_MAX", plan.maxIntervals);
+    plan.targetRelHalfWidth = envDouble("GAAS_BENCH_SAMPLE_TARGET",
+                                        plan.targetRelHalfWidth);
+    plan.warmingBiasRel =
+        envDouble("GAAS_BENCH_SAMPLE_BIAS", plan.warmingBiasRel);
+    return plan;
+}
+
 int
 exitCode()
 {
@@ -233,6 +268,11 @@ notePoint(core::SweepOutcome &outcome)
              << point << std::setfill(' ') << ' '
              << result.configName << ": cpi " << std::fixed
              << std::setprecision(4) << result.cpi();
+        if (result.sampling.enabled()) {
+            line << " (sampled " << result.sampling.cpiMean
+                 << " +/- " << result.sampling.cpiHalfWidth << ", "
+                 << result.sampling.intervals << " intervals)";
+        }
         if (outcome.reused) {
             line << ", reused from journal";
         } else {
@@ -308,6 +348,7 @@ core::SimResult
 runOne(core::SweepJob job)
 {
     job.watchdogCycles = watchdogBudget();
+    job.sampling = samplingPlan();
     std::vector<core::SweepOutcome> outcomes =
         core::runSweepOutcomes({std::move(job)}, 1);
     notePoint(outcomes.front());
@@ -353,6 +394,7 @@ Sweep::add(const core::SystemConfig &config, unsigned mp_level)
     job.instructions = instructionBudget();
     job.warmup = warmupBudget();
     job.watchdogCycles = watchdogBudget();
+    job.sampling = samplingPlan();
     jobs.push_back(std::move(job));
     return jobs.size() - 1;
 }
@@ -366,6 +408,7 @@ Sweep::addScaled(const core::SystemConfig &config, unsigned factor)
     job.instructions = instructionBudget() * factor;
     job.warmup = warmupBudget() * factor;
     job.watchdogCycles = watchdogBudget();
+    job.sampling = samplingPlan();
     jobs.push_back(std::move(job));
     return jobs.size() - 1;
 }

@@ -25,6 +25,22 @@
  *                            (same as --resume DIR)
  *   GAAS_BENCH_WATCHDOG      per-instruction cycle budget for the
  *                            zero-progress watchdog (default 0: off)
+ *   GAAS_BENCH_SAMPLE        any value but "0": run every point under
+ *                            SMARTS-style sampled simulation (same as
+ *                            --sample); CPI gains a 95% CI, wall
+ *                            clock drops 10-50x
+ *   GAAS_BENCH_SAMPLE_MEASURE  body-window instructions per episode
+ *   GAAS_BENCH_SAMPLE_HEAD     head (switch-in transient) window
+ *                              instructions per episode
+ *   GAAS_BENCH_SAMPLE_WARM     functionally warmed instructions
+ *                              before each episode
+ *   GAAS_BENCH_SAMPLE_MIN      intervals in the first sizing pass
+ *   GAAS_BENCH_SAMPLE_MAX      interval cap per pass
+ *   GAAS_BENCH_SAMPLE_TARGET   relative 95% half-width target for
+ *                              the sampling term (default 0.03)
+ *   GAAS_BENCH_SAMPLE_BIAS     relative systematic allowance for
+ *                              finite warming depth, added to the
+ *                              reported half-width (default 0.03)
  *
  * All numeric knobs parse strictly (util/env.hh): trailing garbage,
  * signs, zero and overflow are rejected with a warning.
@@ -58,6 +74,10 @@ namespace gaas::bench
  *   --stats-json DIR   one JSON stats dump per point into DIR
  *   --resume DIR       journal points into DIR; skip points already
  *                      journaled by an earlier (killed) run
+ *   --sample           sampled simulation with confidence intervals
+ *                      instead of full-detail runs (see
+ *                      core/sampling.hh; knobs via
+ *                      GAAS_BENCH_SAMPLE_*)
  *   --help             print usage and exit 0
  *
  * Anything else prints usage to stderr and exits 2.  Call first in
@@ -84,6 +104,13 @@ std::string resumeDir();
 
 /** Watchdog budget for every enqueued job (GAAS_BENCH_WATCHDOG). */
 Cycles watchdogBudget();
+
+/**
+ * The sampled-simulation plan every enqueued job gets: disabled
+ * unless --sample / GAAS_BENCH_SAMPLE is set, knobs from the
+ * GAAS_BENCH_SAMPLE_* environment (defaults from SamplingConfig).
+ */
+core::SamplingConfig samplingPlan();
 
 /**
  * Process exit status for main(): 1 if any point Failed (or a fatal

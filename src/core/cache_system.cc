@@ -320,6 +320,119 @@ CacheSystem::storeMissSubblock(Cycles stall, Addr paddr,
     return stall;
 }
 
+// Warm miss paths: state-only twins of the miss paths above.  They
+// keep the same `now` plumbing so the write buffer's entry completion
+// times and main memory's bus/dirty-buffer state evolve on the warm
+// clock, but the stall cycles every call returns are discarded and no
+// CPI bucket is charged.
+
+void
+CacheSystem::warmL2Touch(bool is_inst, Addr paddr, Cycles now)
+{
+    cache::TagStore &store = l2Store(is_inst);
+    if (cache::TagStore::Ref line = store.find(paddr)) {
+        store.touch(line);
+        return;
+    }
+    cache::Eviction evicted;
+    store.allocate(paddr, evicted);
+    memory.fetchLine(now, evicted.valid && evicted.dirty);
+}
+
+void
+CacheSystem::warmIfetchMiss(Cycles now, Addr paddr)
+{
+    if (!cfg.concurrentIRefill)
+        wb.drainAll(now);
+    warmL2Touch(true, paddr, now);
+    cache::Eviction evicted;
+    l1i.allocate(paddr, evicted);
+}
+
+void
+CacheSystem::warmDataMissWbState(Addr paddr, Cycles now)
+{
+    switch (cfg.loadBypass) {
+      case LoadBypass::None:
+        wb.drainAll(now);
+        break;
+      case LoadBypass::Associative:
+        wb.drainLine(now, l1d.lineAddr(paddr), cfg.l1d.lineBytes());
+        break;
+      case LoadBypass::DirtyBit: {
+        cache::TagStore::Ref line = l1d.find(paddr);
+        const cache::TagStore::Ref victim =
+            line ? line : l1d.victim(paddr);
+        if (victim.valid() && victim.dirty())
+            wb.drainAll(now);
+        break;
+      }
+    }
+}
+
+cache::TagStore::Ref
+CacheSystem::warmRefillL1D(Addr paddr, Cycles now)
+{
+    if (cache::TagStore::Ref line = l1d.find(paddr)) {
+        line.setWriteOnly(false);
+        line.setDirty(false);
+        line.setValidMask(l1d.fullMask());
+        l1d.touch(line);
+        return line;
+    }
+    cache::Eviction evicted;
+    cache::TagStore::Ref line = l1d.allocate(paddr, evicted);
+    if (cfg.writePolicy == WritePolicy::WriteBack && evicted.valid &&
+        evicted.dirty) {
+        wb.push(now, evicted.lineAddr);
+        applyWriteToL2(evicted.lineAddr);
+    }
+    return line;
+}
+
+void
+CacheSystem::warmLoadMiss(Cycles now, Addr paddr)
+{
+    warmDataMissWbState(paddr, now);
+    warmL2Touch(false, paddr, now);
+    warmRefillL1D(paddr, now);
+}
+
+void
+CacheSystem::warmStoreMissWriteBack(Cycles now, Addr paddr)
+{
+    warmDataMissWbState(paddr, now);
+    warmL2Touch(false, paddr, now);
+    cache::TagStore::Ref nl = warmRefillL1D(paddr, now);
+    nl.setDirty(true);
+}
+
+void
+CacheSystem::warmStoreMissInvalidate(Addr paddr)
+{
+    if (cfg.l1d.assoc == 1)
+        l1d.victim(paddr).invalidate();
+}
+
+void
+CacheSystem::warmStoreMissWriteOnly(Addr paddr)
+{
+    cache::Eviction evicted;
+    cache::TagStore::Ref nl = l1d.allocate(paddr, evicted);
+    nl.setWriteOnly(true);
+    nl.setDirty(true);
+    nl.setValidMask(0);
+}
+
+void
+CacheSystem::warmStoreMissSubblock(Addr paddr, bool partial_word)
+{
+    cache::Eviction evicted;
+    cache::TagStore::Ref nl = l1d.allocate(paddr, evicted);
+    nl.setDirty(true);
+    nl.setValidMask(partial_word ? 0 : l1d.wordBit(paddr));
+}
+
 void
 CacheSystem::resetStats()
 {

@@ -119,6 +119,29 @@ class CacheSystem
                   bool partial_word);
     ///@}
 
+    /** @name Functional-warming paths (sampled simulation)
+     *  Mirror every *state* mutation of ifetchT/loadT/storeT -- TLB
+     *  fills, L1/L2 lookups/LRU touches/allocations, dirty and
+     *  valid-mask updates, write-buffer pushes and drains, main
+     *  memory's bus and dirty-buffer evolution -- without computing
+     *  stall cycles or charging CPI-bucket losses.  The few event
+     *  counters shared helpers do bump are cleared by the
+     *  resetStats() that precedes every measurement interval, so
+     *  warming is invisible in the measured statistics.  Defined
+     *  after the class, next to the detailed paths they shadow.
+     */
+    ///@{
+    template <class Spec>
+    void warmIfetchT(Cycles now, Pid pid, Addr vaddr);
+
+    template <class Spec>
+    void warmLoadT(Cycles now, Pid pid, Addr vaddr);
+
+    template <class Spec>
+    void warmStoreT(Cycles now, Pid pid, Addr vaddr,
+                    bool partial_word);
+    ///@}
+
     /** Data-side L2 tag-set software prefetch, for the batched
      *  simulate loop: worth fetching ahead under write-through
      *  policies, where every store probes L2 (applyWriteToL2) and
@@ -216,6 +239,23 @@ class CacheSystem
                                                Addr paddr,
                                                bool partial_word);
     ///@}
+
+    /** @name Out-of-line warm miss paths (state-only twins of the
+     *  miss paths above; same rationale for staying out of line). */
+    ///@{
+    [[gnu::noinline]] void warmIfetchMiss(Cycles now, Addr paddr);
+    [[gnu::noinline]] void warmLoadMiss(Cycles now, Addr paddr);
+    [[gnu::noinline]] void warmStoreMissWriteBack(Cycles now,
+                                                  Addr paddr);
+    [[gnu::noinline]] void warmStoreMissInvalidate(Addr paddr);
+    [[gnu::noinline]] void warmStoreMissWriteOnly(Addr paddr);
+    [[gnu::noinline]] void warmStoreMissSubblock(Addr paddr,
+                                                 bool partial_word);
+    ///@}
+
+    void warmL2Touch(bool is_inst, Addr paddr, Cycles now);
+    void warmDataMissWbState(Addr paddr, Cycles now);
+    cache::TagStore::Ref warmRefillL1D(Addr paddr, Cycles now);
 
     cache::TagStore &l2Store(bool is_inst);
     L2Result l2Access(bool is_inst, Addr paddr, Cycles now,
@@ -375,6 +415,117 @@ CacheSystem::storeT(Cycles now, Pid pid, Addr vaddr,
             return stall;
         }
         return storeMissSubblock(stall, tr.paddr, partial_word);
+
+      case WritePolicy::WriteBack:
+        break; // handled above
+    }
+    gaas_panic("unreachable write policy");
+}
+
+// The warm twins.  Each repeats its detailed path's control flow with
+// the cycle arithmetic and CPI attribution deleted; a state mutation
+// here without a counterpart above (or vice versa) is a bug.
+
+template <class Spec>
+void
+CacheSystem::warmIfetchT(Cycles now, Pid pid, Addr vaddr)
+{
+    const auto tr = mmuUnit.translateInst(pid, vaddr);
+    const cache::TagStore::LineIndex idx =
+        l1Lookup<Spec>(l1i, tr.paddr);
+    if (idx != cache::TagStore::npos) [[likely]] {
+        l1Touch<Spec>(l1i, idx);
+        return;
+    }
+    warmIfetchMiss(now, tr.paddr);
+}
+
+template <class Spec>
+void
+CacheSystem::warmLoadT(Cycles now, Pid pid, Addr vaddr)
+{
+    const auto tr = mmuUnit.translateData(pid, vaddr);
+
+    WritePolicy wp;
+    if constexpr (Spec::specialized)
+        wp = Spec::policy;
+    else
+        wp = cfg.writePolicy;
+
+    const cache::TagStore::LineIndex idx =
+        l1Lookup<Spec>(l1d, tr.paddr);
+    bool usable = idx != cache::TagStore::npos &&
+                  !(l1d.stateAt(idx) & cache::TagStore::kWriteOnlyBit);
+    if (wp == WritePolicy::SubblockPlacement && usable)
+        usable = (l1d.maskAt(idx) & l1d.wordBit(tr.paddr)) != 0;
+
+    if (usable) [[likely]] {
+        l1Touch<Spec>(l1d, idx);
+        return;
+    }
+    warmLoadMiss(now, tr.paddr);
+}
+
+template <class Spec>
+void
+CacheSystem::warmStoreT(Cycles now, Pid pid, Addr vaddr,
+                        bool partial_word)
+{
+    const auto tr = mmuUnit.translateData(pid, vaddr);
+
+    WritePolicy wp;
+    if constexpr (Spec::specialized)
+        wp = Spec::policy;
+    else
+        wp = cfg.writePolicy;
+
+    const cache::TagStore::LineIndex idx =
+        l1Lookup<Spec>(l1d, tr.paddr);
+
+    if (wp == WritePolicy::WriteBack) {
+        if (idx != cache::TagStore::npos) [[likely]] {
+            l1d.setDirtyAt(idx, true);
+            l1Touch<Spec>(l1d, idx);
+            return;
+        }
+        warmStoreMissWriteBack(now, tr.paddr);
+        return;
+    }
+
+    // Write-through family: the buffer entry and the L2 write-state
+    // update happen regardless of hit or miss, as in storeT.
+    wb.push(now, tr.paddr);
+    applyWriteToL2(tr.paddr);
+
+    switch (wp) {
+      case WritePolicy::WriteMissInvalidate:
+        if (idx != cache::TagStore::npos) [[likely]] {
+            l1Touch<Spec>(l1d, idx);
+            l1d.setDirtyAt(idx, true);
+            return;
+        }
+        warmStoreMissInvalidate(tr.paddr);
+        return;
+
+      case WritePolicy::WriteOnly:
+        if (idx != cache::TagStore::npos) [[likely]] {
+            l1Touch<Spec>(l1d, idx);
+            l1d.setDirtyAt(idx, true);
+            return;
+        }
+        warmStoreMissWriteOnly(tr.paddr);
+        return;
+
+      case WritePolicy::SubblockPlacement:
+        if (idx != cache::TagStore::npos) [[likely]] {
+            l1Touch<Spec>(l1d, idx);
+            l1d.setDirtyAt(idx, true);
+            if (!partial_word)
+                l1d.orMaskAt(idx, l1d.wordBit(tr.paddr));
+            return;
+        }
+        warmStoreMissSubblock(tr.paddr, partial_word);
+        return;
 
       case WritePolicy::WriteBack:
         break; // handled above

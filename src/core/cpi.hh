@@ -100,6 +100,44 @@ struct SysStats
     void registerInto(obs::Registry &r) const;
 };
 
+/**
+ * Summary of a sampled (SMARTS-style) run, carried in SimResult.
+ * All-zero when the run simulated every reference at full detail.
+ */
+struct SamplingInfo
+{
+    /** Controller passes run (0 = not a sampled run). */
+    Count passes = 0;
+
+    /** Measurement intervals in the final pass.  0 with passes > 0
+     *  means the budget was too small for the interval schedule and
+     *  the controller fell back to a full-detail run. */
+    Count intervals = 0;
+
+    /** @name Instruction disposition of the final pass */
+    ///@{
+    Count measuredInstructions = 0;
+    Count warmedInstructions = 0;
+    Count skippedInstructions = 0;
+    ///@}
+
+    /** Mean of the per-interval CPIs (the point estimate). */
+    double cpiMean = 0.0;
+
+    /** Standard error of cpiMean, from the unbiased sample
+     *  variance of the interval CPIs. */
+    double cpiStdError = 0.0;
+
+    /** Half-width of the confidence interval:
+     *  t(confidence, n-1) * cpiStdError. */
+    double cpiHalfWidth = 0.0;
+
+    /** Confidence level of the interval (0.95), 0 when unsampled. */
+    double confidence = 0.0;
+
+    bool enabled() const { return passes > 0; }
+};
+
 /** Everything a simulation run produces. */
 struct SimResult
 {
@@ -125,6 +163,7 @@ struct SimResult
 
     CpiComponents comp{};
     SysStats sys{};
+    SamplingInfo sampling{};
 
     /** Total simulated references (ifetches + loads + stores). */
     Count references() const;

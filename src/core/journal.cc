@@ -143,6 +143,22 @@ sweepJobKey(const SweepJob &job)
     digest.feedNumber(job.instructions);
     digest.feedNumber(job.warmup);
     digest.feedNumber(job.watchdogCycles);
+    if (job.sampling.enabled) {
+        // A sampled point must never satisfy (or be satisfied by) a
+        // full-detail key, and every sampling knob changes the
+        // estimate.  Unsampled jobs keep their pre-sampling keys, so
+        // existing journals stay resumable.
+        digest.feed("sampled|");
+        digest.feedNumber(job.sampling.measureInstructions);
+        digest.feedNumber(job.sampling.headInstructions);
+        digest.feedNumber(job.sampling.warmInstructions);
+        digest.feedNumber(job.sampling.minIntervals);
+        digest.feedNumber(job.sampling.maxIntervals);
+        digest.feed(obs::formatDouble(job.sampling.targetRelHalfWidth));
+        digest.feed("|");
+        digest.feed(obs::formatDouble(job.sampling.warmingBiasRel));
+        digest.feed("|");
+    }
     return digest.hex();
 }
 

@@ -1,7 +1,9 @@
 #include "result_io.hh"
 
+#include <algorithm>
 #include <charconv>
 #include <utility>
+#include <vector>
 
 #include "util/error.hh"
 
@@ -77,6 +79,37 @@ visitDoubles(Result &r, Fn &&f)
     f("host_stats_seconds", r.hostStatsSeconds);
 }
 
+/**
+ * @name Sampling summary fields (core/sampling.hh)
+ * Kept in their own tables because parsing treats them as optional:
+ * journals written before sampled simulation existed lack them, and
+ * an unsampled record parses to the all-zero SamplingInfo either way.
+ */
+///@{
+template <typename Result, typename Fn>
+void
+visitSamplingCounters(Result &r, Fn &&f)
+{
+    f("sampling.passes", r.sampling.passes);
+    f("sampling.intervals", r.sampling.intervals);
+    f("sampling.measured_instructions",
+      r.sampling.measuredInstructions);
+    f("sampling.warmed_instructions", r.sampling.warmedInstructions);
+    f("sampling.skipped_instructions",
+      r.sampling.skippedInstructions);
+}
+
+template <typename Result, typename Fn>
+void
+visitSamplingDoubles(Result &r, Fn &&f)
+{
+    f("sampling.cpi_mean", r.sampling.cpiMean);
+    f("sampling.cpi_std_error", r.sampling.cpiStdError);
+    f("sampling.cpi_half_width", r.sampling.cpiHalfWidth);
+    f("sampling.confidence", r.sampling.confidence);
+}
+///@}
+
 [[noreturn]] void
 badField(const char *name, const char *what)
 {
@@ -96,6 +129,12 @@ resultToJson(const SimResult &result)
         root.members.emplace_back(name, obs::JsonValue::number(v));
     });
     visitDoubles(result, [&root](const char *name, double v) {
+        root.members.emplace_back(name, obs::JsonValue::number(v));
+    });
+    visitSamplingCounters(result, [&root](const char *name, Count v) {
+        root.members.emplace_back(name, obs::JsonValue::number(v));
+    });
+    visitSamplingDoubles(result, [&root](const char *name, double v) {
         root.members.emplace_back(name, obs::JsonValue::number(v));
     });
     return root;
@@ -146,7 +185,57 @@ resultFromJson(const obs::JsonValue &v)
             badField(name, "is not a double");
     });
 
+    visitSamplingCounters(result, [&v](const char *name, Count &out) {
+        const obs::JsonValue *m = v.member(name);
+        if (!m) {
+            out = 0; // pre-sampling journal record
+            return;
+        }
+        if (m->type != obs::JsonValue::Type::Number)
+            badField(name, "is not a number");
+        const char *first = m->scalar.data();
+        const char *last = first + m->scalar.size();
+        const auto res = std::from_chars(first, last, out);
+        if (res.ec != std::errc{} || res.ptr != last)
+            badField(name, "is not an unsigned integer");
+    });
+
+    visitSamplingDoubles(result, [&v](const char *name, double &out) {
+        const obs::JsonValue *m = v.member(name);
+        if (!m || m->type == obs::JsonValue::Type::Null) {
+            out = 0.0; // pre-sampling record, or non-finite → null
+            return;
+        }
+        if (m->type != obs::JsonValue::Type::Number)
+            badField(name, "is not a number");
+        const char *first = m->scalar.data();
+        const char *last = first + m->scalar.size();
+        const auto res = std::from_chars(first, last, out);
+        if (res.ec != std::errc{} || res.ptr != last)
+            badField(name, "is not a double");
+    });
+
     return result;
+}
+
+void
+accumulateResult(SimResult &acc, const SimResult &part)
+{
+    const Count occupancy = std::max(acc.sys.wb.maxOccupancy,
+                                     part.sys.wb.maxOccupancy);
+
+    std::vector<const Count *> src;
+    visitCounters(part, [&src](const char *, const Count &v) {
+        src.push_back(&v);
+    });
+    std::size_t i = 0;
+    visitCounters(acc, [&src, &i](const char *, Count &v) {
+        v += *src[i++];
+    });
+
+    acc.sys.wb.maxOccupancy = occupancy;
+    acc.hostSeconds += part.hostSeconds;
+    acc.hostStatsSeconds += part.hostStatsSeconds;
 }
 
 } // namespace gaas::core

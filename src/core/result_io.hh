@@ -31,6 +31,18 @@ obs::JsonValue resultToJson(const SimResult &result);
  */
 SimResult resultFromJson(const obs::JsonValue &v);
 
+/**
+ * Fold @p part's measured counters into @p acc: every u64 counter
+ * and host-timing double is summed, except wb.max_occupancy which
+ * takes the max (it is a high-water mark, not a flow).  Name,
+ * derived ratios and sampling summary are left to the caller.  The
+ * sampled-simulation controller (core/sampling.hh) uses this to
+ * aggregate per-interval results; it walks the same field tables as
+ * the (de)serializers, so a new SimResult counter is summed the day
+ * it is journaled.
+ */
+void accumulateResult(SimResult &acc, const SimResult &part);
+
 } // namespace gaas::core
 
 #endif // GAAS_CORE_RESULT_IO_HH

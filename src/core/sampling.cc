@@ -1,0 +1,371 @@
+#include "sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "core/result_io.hh"
+#include "core/simulator.hh"
+#include "core/workload.hh"
+#include "stats/distribution.hh"
+#include "synth/suite.hh"
+#include "util/logging.hh"
+
+namespace gaas::core
+{
+
+namespace
+{
+
+/** Sizing rounds before the controller accepts whatever CI the
+ *  episode cap yields.  Growth continues the same machine, so a
+ *  round only costs the *additional* episodes it schedules. */
+constexpr Count kMaxRounds = 3;
+
+constexpr double kConfidence = 0.95;
+
+/**
+ * Per-process trace references consumed per *global* skipped
+ * instruction.  The round-robin scheduler hands each process an
+ * instruction share proportional to its speed (1 / baseCpi, the
+ * same model workload.cc's refHint uses); references per
+ * instruction are 1 (Inst) + loadFrac + storeFrac.  No slack
+ * factor: this converts a gap we want to *land after*, not a
+ * buffer we want to oversize.
+ */
+std::vector<double>
+refsPerSkippedInstruction(
+    const std::vector<synth::BenchmarkSpec> &specs)
+{
+    double invSum = 0.0;
+    for (const auto &s : specs)
+        invSum += 1.0 / s.baseCpi;
+    std::vector<double> factors;
+    factors.reserve(specs.size());
+    for (const auto &s : specs) {
+        const double share = (1.0 / s.baseCpi) / invSum;
+        factors.push_back(share *
+                          (1.0 + s.loadFrac + s.storeFrac));
+    }
+    return factors;
+}
+
+std::vector<Count>
+refsForGap(const std::vector<double> &factors, Count gap)
+{
+    std::vector<Count> refs;
+    refs.reserve(factors.size());
+    for (const double f : factors)
+        refs.push_back(static_cast<Count>(
+            std::llround(f * static_cast<double>(gap))));
+    return refs;
+}
+
+/** Round @p n up to the next multiple of @p p (p > 0). */
+Count
+roundUpTo(Count n, Count p)
+{
+    return ((n + p - 1) / p) * p;
+}
+
+/** Head and body window means of one process stratum. */
+struct Stratum
+{
+    stats::SampleStat headCpi;
+    stats::SampleStat bodyCpi;
+};
+
+/**
+ * The estimate one pass yields.  Per process p the episode-average
+ * CPI recombines the head and body window means over the expected
+ * occupancy length E[len_p]: an occupancy spends its first Lh
+ * instructions at the head CPI and the rest at the body CPI, so
+ *
+ *     cpi_p = b_p + (Lh / E[len_p]) * (h_p - b_p)
+ *
+ * where E[len_p] follows from time-slice expiry (timeSliceCycles
+ * cycles at the two-phase rate) truncated by the per-instruction
+ * Bernoulli syscall (benchmark.cc), E[min(T, Geom(q))] =
+ * (1 - (1-q)^T) / q.  The machine interleaves one occupancy per
+ * process per round, so the global CPI is the occupancy-length
+ * weighted mean of the per-process CPIs (equal-length occupancies
+ * reduce it to the harmonic mean of per-process CPIs in IPC form).
+ * The standard error propagates the per-stratum window variances
+ * through the same weights.
+ */
+struct PassEstimate
+{
+    double cpi = 0.0;
+    double stdError = 0.0;
+    double halfWidth = 0.0;
+
+    static PassEstimate
+    from(const std::vector<Stratum> &strata,
+         const std::vector<synth::BenchmarkSpec> &specs,
+         Cycles slice_cycles, Count head, Count body, Count n)
+    {
+        PassEstimate e;
+        const std::size_t p = strata.size();
+        std::vector<double> cpiOf(p, 0.0), lenOf(p, 0.0),
+            varOf(p, 0.0);
+        for (std::size_t i = 0; i < p; ++i) {
+            const double h = strata[i].headCpi.mean();
+            const double b = strata[i].bodyCpi.mean();
+            if (h <= 0.0 || b <= 0.0)
+                return e; // dead machine; all-zero estimate
+            const double lh = static_cast<double>(head);
+            // Instructions until slice expiry: Lh at the head rate,
+            // the rest at the body rate.
+            double expiry =
+                lh + (static_cast<double>(slice_cycles) - lh * h) / b;
+            expiry = std::max(expiry,
+                              lh + static_cast<double>(body));
+            const double q =
+                specs[i].syscallsPerMInstr * 1e-6;
+            double len = expiry;
+            if (q > 0.0)
+                len = (1.0 - std::pow(1.0 - q, expiry)) / q;
+            len = std::max(len, lh + static_cast<double>(body));
+            const double kappa = lh / len;
+            cpiOf[i] = b + kappa * (h - b);
+            lenOf[i] = len;
+            varOf[i] =
+                (1.0 - kappa) * (1.0 - kappa) *
+                    strata[i].bodyCpi.sampleVariance() /
+                    static_cast<double>(strata[i].bodyCpi.count()) +
+                kappa * kappa *
+                    strata[i].headCpi.sampleVariance() /
+                    static_cast<double>(strata[i].headCpi.count());
+        }
+        double lenSum = 0.0;
+        for (const double l : lenOf)
+            lenSum += l;
+        double mean = 0.0, var = 0.0;
+        for (std::size_t i = 0; i < p; ++i) {
+            const double w = lenOf[i] / lenSum;
+            mean += w * cpiOf[i];
+            var += w * w * varOf[i];
+        }
+        e.cpi = mean;
+        e.stdError = std::sqrt(var);
+        const Count df = n > static_cast<Count>(p)
+                             ? n - static_cast<Count>(p)
+                             : 1;
+        e.halfWidth = studentT95(df) * e.stdError;
+        return e;
+    }
+};
+
+/** Exact full-detail run, marked as a sampled-run fallback. */
+SimResult
+runFallback(const SystemConfig &config, Count total,
+            unsigned mp_level, Count warmup, Cycles watchdog)
+{
+    Simulator sim(config,
+                  Workload::standard(mp_level, warmup + total));
+    sim.setWatchdogCycles(watchdog);
+    SimResult res = sim.run(total, warmup);
+    res.sampling.passes = 1;
+    res.sampling.intervals = 0; // the fallback marker
+    res.sampling.measuredInstructions = res.instructions;
+    res.sampling.cpiMean = res.cpi();
+    res.sampling.confidence = kConfidence;
+    return res;
+}
+
+} // namespace
+
+double
+studentT95(Count df)
+{
+    // Two-sided 95% critical values of Student's t, df 1..30.
+    static constexpr double kTable[30] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    if (df == 0)
+        return kTable[0];
+    if (df <= 30)
+        return kTable[df - 1];
+    // Bracket rows 40/60/120; the lower bracket's (larger) value
+    // keeps the interval conservative between rows.
+    if (df < 40)
+        return kTable[29];
+    if (df < 60)
+        return 2.021;
+    if (df < 120)
+        return 2.000;
+    return 1.980;
+}
+
+SimResult
+runSampled(const SystemConfig &config, const SamplingConfig &plan,
+           Count total_instructions, unsigned mp_level,
+           Count warmup_instructions, Cycles watchdog_cycles)
+{
+    const Count body = plan.measureInstructions;
+    const Count head = plan.headInstructions;
+    const Count warm = plan.warmInstructions;
+    if (body == 0 || head == 0)
+        gaas_fatal("sampling: measureInstructions and "
+                   "headInstructions must be > 0");
+    const Count episode = warm + head + body;
+
+    const std::vector<synth::BenchmarkSpec> specs =
+        synth::workloadSpecs(mp_level);
+    const Count procCount = static_cast<Count>(specs.size());
+
+    // Interval counts are multiples of the process count with at
+    // least two episodes per process: the estimator stratifies by
+    // process and needs within-stratum variances.
+    Count n = roundUpTo(std::max(plan.minIntervals, 2 * procCount),
+                        procCount);
+    const Count cap = std::max(
+        n,
+        (std::max(plan.maxIntervals, n) / procCount) * procCount);
+
+    // An episode consumes warm + head + body instructions out of
+    // its period; the schedule is feasible only while the period
+    // leaves a positive gap to skip.
+    const auto feasible = [&](Count k) {
+        return k > 0 && total_instructions / k > episode;
+    };
+    if (!feasible(n))
+        return runFallback(config, total_instructions, mp_level,
+                           warmup_instructions, watchdog_cycles);
+
+    const std::vector<double> factors =
+        refsPerSkippedInstruction(specs);
+
+    SimResult agg;
+    PassEstimate est;
+    Count passes = 0;
+    // The inter-episode gap is fixed by the floor count: growth
+    // rounds append episodes at the same stride (the trace sources
+    // wrap), so earlier measurements stay valid and a round only
+    // costs its additional episodes.  The schedule -- and therefore
+    // the result -- is a deterministic function of (config, plan,
+    // budget): growth depends only on the measured variances.
+    const Count gap = total_instructions / n - episode;
+
+    Simulator sim(config,
+                  Workload::standard(mp_level, warmup_instructions +
+                                                   total_instructions));
+    sim.setWatchdogCycles(watchdog_cycles);
+    // The full-detail warmup span is just skipped: every episode
+    // brings its own functional warming, and detailed warmup cycles
+    // would cost a third of the budget for state the first
+    // fast-forward throws away.
+    if (warmup_instructions > 0)
+        sim.fastForward(refsForGap(factors, warmup_instructions));
+    // One warm round at start so the first episodes do not measure
+    // a near-empty hierarchy: every process lays down a footprint,
+    // twice as deep as a recovery burst.
+    for (Count k = 0; k < procCount; ++k) {
+        sim.selectProcess(static_cast<std::size_t>(k));
+        sim.runWarm(2 * warm);
+    }
+
+    // Recover/measure pipeline: episode j fast-forwards every
+    // trace EXCEPT the one recovered last episode (so its rebuilt
+    // reuse state never goes stale), functionally recovers the
+    // next stratum's process, then measures the held-back one --
+    // whose L1/TLB lines the recovery bursts in between evicted,
+    // the way a real inter-occupancy round does.  Episode 0 only
+    // primes the pipeline.
+    std::vector<Stratum> strata(static_cast<std::size_t>(procCount));
+    const std::vector<Count> gapRefs = refsForGap(factors, gap);
+    std::vector<Count> skipRefs(gapRefs.size());
+    bool first = true;
+    Count j = 0;
+    while (true) {
+        ++passes;
+        for (; j <= n; ++j) {
+            const std::size_t rec =
+                static_cast<std::size_t>(j % procCount);
+            const std::size_t meas = static_cast<std::size_t>(
+                (j + procCount - 1) % procCount);
+            skipRefs = gapRefs;
+            if (j > 0)
+                skipRefs[meas] = 0;
+            sim.fastForward(skipRefs);
+            sim.selectProcess(rec);
+            sim.runWarm(warm);
+            if (j == 0)
+                continue;
+            // Head window: pin the recovered process onto a fresh
+            // occupancy and measure its switch-in transient.
+            sim.selectProcess(meas);
+            sim.resetMeasurement();
+            SimResult rh = sim.run(head, 0);
+            strata[meas].headCpi.add(rh.cpi());
+            // Body window: re-pin (a syscall can rotate the
+            // process out mid-head) and measure the flat regime.
+            sim.selectProcess(meas);
+            sim.resetMeasurement();
+            SimResult rb = sim.run(body, 0);
+            strata[meas].bodyCpi.add(rb.cpi());
+            if (first) {
+                agg = std::move(rh);
+                first = false;
+            } else {
+                accumulateResult(agg, rh);
+            }
+            accumulateResult(agg, rb);
+        }
+
+        est = PassEstimate::from(strata, specs,
+                                 config.timeSliceCycles, head,
+                                 body, n);
+        const bool met =
+            est.cpi > 0.0 &&
+            est.halfWidth <= plan.targetRelHalfWidth * est.cpi;
+        if (met || n >= cap || passes >= kMaxRounds)
+            break;
+
+        // Online sizing: the half-width shrinks as 1/sqrt(n), so
+        // n_req = n * (half / target)^2, rounded up to keep the
+        // strata balanced.
+        const double target = plan.targetRelHalfWidth * est.cpi;
+        Count req = cap;
+        if (target > 0.0) {
+            const double ratio = est.halfWidth / target;
+            req = roundUpTo(
+                static_cast<Count>(std::ceil(
+                    static_cast<double>(n) * ratio * ratio)),
+                procCount);
+        }
+        const Count next = std::min(cap, std::max(req, n + procCount));
+        if (next <= n)
+            break;
+        n = next;
+    }
+
+    agg.sampling.passes = passes;
+    agg.sampling.intervals = n;
+    agg.sampling.measuredInstructions = agg.instructions;
+    agg.sampling.warmedInstructions = (2 * procCount + n + 1) * warm;
+    agg.sampling.skippedInstructions =
+        warmup_instructions + (n + 1) * gap;
+    agg.sampling.cpiMean = est.cpi;
+    agg.sampling.cpiStdError = est.stdError;
+    // Reported half-width = Student-t sampling term + the
+    // finite-warming systematic allowance (the sizing loop above
+    // compares the sampling term alone against the target).
+    agg.sampling.cpiHalfWidth =
+        est.halfWidth + plan.warmingBiasRel * est.cpi;
+    agg.sampling.confidence = kConfidence;
+    // Downstream consumers (figure CSVs, progress lines) read
+    // SimResult::cpi(); pin it to the occupancy-weighted estimate.
+    // The naive ratio of summed counters would overweight the
+    // transient-rich head windows and slow processes, which the
+    // scheduler's occupancy mix does not.
+    if (agg.instructions > 0 && est.cpi > 0.0)
+        agg.cycles = static_cast<Cycles>(std::llround(
+            est.cpi * static_cast<double>(agg.instructions)));
+    return agg;
+}
+
+} // namespace gaas::core

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * SMARTS-style sampled simulation [WWFH03-like]: instead of
+ * simulating every instruction in detail, systematically visit n
+ * measurement intervals spread across the budget.  Between
+ * intervals the trace is fast-forwarded (a seek, no simulation);
+ * each interval is preceded by a functional-warming burst that
+ * updates cache/TLB/write-buffer state without loss accounting, so
+ * the detailed measurement starts from a realistically warmed
+ * hierarchy.
+ *
+ * Intervals are stratified by process: a measurement window is far
+ * shorter than one 500k-cycle time slice, so each window inevitably
+ * measures a single process, and interval j is pinned to process
+ * j mod P (Simulator::selectProcess).  Each interval is an
+ * *episode* that measures two windows of a fresh scheduling
+ * occupancy: the head [0, Lh] -- the expensive switch-in transient
+ * where the incoming process finds its L1/TLB state evicted -- and
+ * the body [Lh, Lh+Lm], the flat post-transient regime.  A
+ * fixed-offset window alone is biased low by the transient's share
+ * of every occupancy (~2% here); the estimator recombines head and
+ * body with each process's expected occupancy length (time-slice
+ * expiry at timeSliceCycles cycles, or earlier Bernoulli-syscall
+ * truncation), then averages the per-process CPIs weighted by
+ * those occupancy lengths -- the round-robin composition the full
+ * machine realizes.  The per-stratum variances feed a confidence
+ * interval (Student t at n - P degrees of freedom, 95%); the
+ * controller grows n online -- in multiples of P -- until the
+ * sampling term meets the relative-precision target.  The reported
+ * half-width adds a documented systematic allowance for finite
+ * warming depth on top of the sampling term (see
+ * SamplingConfig::warmingBiasRel).
+ *
+ * Accuracy contract: the full-detail CPI of the same (config, mp,
+ * budget) point lies within the reported CI with the stated
+ * confidence -- the validation suite (test_sampling.cc) checks it
+ * point by point.
+ */
+
+#ifndef GAAS_CORE_SAMPLING_HH
+#define GAAS_CORE_SAMPLING_HH
+
+#include "core/config.hh"
+#include "core/cpi.hh"
+#include "util/types.hh"
+
+namespace gaas::core
+{
+
+/** Knobs of the sampled-simulation controller. */
+struct SamplingConfig
+{
+    /** Master switch; false means full-detail simulation and every
+     *  output stays byte-identical to the unsampled build. */
+    bool enabled = false;
+
+    /** Detailed instructions of the body window per episode (the
+     *  flat post-transient measurement). */
+    Count measureInstructions = 14'000;
+
+    /** Detailed instructions of the head window per episode: the
+     *  switch-in transient, measured from the pinned process's
+     *  first post-switch instruction.  Long enough to span the bulk
+     *  of the transient; the body starts where the head ends, so
+     *  the pair tiles the occupancy with no unmodelled gap. */
+    Count headInstructions = 16'000;
+
+    /** Functionally warmed instructions per recovery burst: after
+     *  its trace is fast-forwarded, a process must re-establish its
+     *  short-term reuse state (array-segment rescans, hot stack and
+     *  heap lines) before a measurement of it means anything.  Each
+     *  episode recovers the *next* stratum's process, then measures
+     *  the one recovered last episode -- whose own trace was held
+     *  back from that episode's fast-forward, so its recovered
+     *  state is never stale, while the intervening bursts evict its
+     *  L1/TLB lines the way a real inter-occupancy round does.
+     *  Also half the per-process length of the one-time start-up
+     *  warm round. */
+    Count warmInstructions = 32'000;
+
+    /** Episodes in the first sizing round (also the floor).
+     *  Rounded up to a multiple of the process count, with at least
+     *  two episodes per process: the stratified CI needs a
+     *  within-stratum variance.  Three per process keeps the
+     *  first-round CI tight enough that the sizing loop almost
+     *  always stops immediately. */
+    Count minIntervals = 24;
+
+    /** Hard ceiling on episodes (rounded down to a multiple of the
+     *  process count). */
+    Count maxIntervals = 40;
+
+    /** Stop when t * stdError <= target * mean (the relative 95%
+     *  half-width of the *sampling* term); 0.03 = +/-3%.  Tighter
+     *  targets grow the episode count online (up to maxIntervals),
+     *  each growth round costing only its additional episodes. */
+    double targetRelHalfWidth = 0.03;
+
+    /** Relative systematic allowance for finite warming depth,
+     *  added to the reported half-width on top of the Student-t
+     *  sampling term.  Episodic warming rebuilds short-term reuse
+     *  exactly but cannot re-accumulate the deep L2 residency (the
+     *  Pareto-tail heap/global lines) a full-detail run builds over
+     *  tens of millions of references, so large-L2 points read
+     *  slightly high; the fig6 ladder measures the effect at under
+     *  +1% below 256KW, growing to about +3% at 1024KW -- the
+     *  default covers that worst case.  Continuous functional
+     *  warming would remove it but costs detail-speed work over the
+     *  whole budget, forfeiting the speedup. */
+    double warmingBiasRel = 0.03;
+};
+
+/**
+ * Two-sided 95% Student-t multiplier for @p df degrees of freedom.
+ * Between tabulated rows the multiplier of the *lower* df is used,
+ * so the interval is never narrower than the exact value.
+ */
+double studentT95(Count df);
+
+/**
+ * Run one (config, mp level, instruction budget) point under the
+ * sampled regime and return the aggregate result: the measured
+ * counters of all intervals summed (accumulateResult), plus a
+ * filled SimResult::sampling summary.  cycles is rescaled so the
+ * headline cpi() equals sampling.cpiMean, the stratified estimate
+ * -- figure CSVs and progress lines then report the same number
+ * the CI describes.  The full-detail warmup span, like the gaps,
+ * is skipped rather than simulated; each interval brings its own
+ * functional warming.
+ *
+ * Falls back to an exact full-detail run (sampling.intervals == 0)
+ * when the budget cannot fit minIntervals warm+measure bursts.
+ *
+ * Deterministic: same inputs, same result, independent of how many
+ * sizing passes earlier configurations needed.
+ */
+SimResult runSampled(const SystemConfig &config,
+                     const SamplingConfig &plan,
+                     Count total_instructions, unsigned mp_level = 8,
+                     Count warmup_instructions = 0,
+                     Cycles watchdog_cycles = 0);
+
+} // namespace gaas::core
+
+#endif // GAAS_CORE_SAMPLING_HH

@@ -40,7 +40,9 @@ Simulator::Simulator(const SystemConfig &config, Workload workload)
     sliceEnd = cfg.timeSliceCycles;
 
     forceGeneric = envForcesGeneric();
-    loopFn = pickLoop();
+    const LoopFns fns = pickLoop();
+    loopFn = fns.detail;
+    warmFn = fns.warm;
     prefetchStoreL2 = isWriteThrough(cfg.writePolicy);
 }
 
@@ -48,15 +50,17 @@ void
 Simulator::setForceGenericPath(bool force)
 {
     forceGeneric = force || envForcesGeneric();
-    loopFn = pickLoop();
+    const LoopFns fns = pickLoop();
+    loopFn = fns.detail;
+    warmFn = fns.warm;
 }
 
-Simulator::LoopFn
+Simulator::LoopFns
 Simulator::pickLoop()
 {
     genericPath = true;
     if (forceGeneric)
-        return &Simulator::runLoopT<GenericAccessSpec>;
+        return loopFnsFor<GenericAccessSpec>();
 
     // Specialization needs both L1s in one geometry class, so the
     // whole probe-path choice folds at compile time; mixed
@@ -65,33 +69,33 @@ Simulator::pickLoop()
     const bool dm = cfg.l1i.assoc == 1 && cfg.l1d.assoc == 1;
     const bool sa = cfg.l1i.assoc > 1 && cfg.l1d.assoc > 1;
     if (!dm && !sa)
-        return &Simulator::runLoopT<GenericAccessSpec>;
+        return loopFnsFor<GenericAccessSpec>();
 
     genericPath = false;
     switch (cfg.writePolicy) {
       case WritePolicy::WriteBack:
-        return dm ? &Simulator::runLoopT<
-                        FastAccessSpec<true, WritePolicy::WriteBack>>
-                  : &Simulator::runLoopT<FastAccessSpec<
-                        false, WritePolicy::WriteBack>>;
+        return dm ? loopFnsFor<
+                        FastAccessSpec<true, WritePolicy::WriteBack>>()
+                  : loopFnsFor<FastAccessSpec<
+                        false, WritePolicy::WriteBack>>();
       case WritePolicy::WriteMissInvalidate:
-        return dm ? &Simulator::runLoopT<FastAccessSpec<
-                        true, WritePolicy::WriteMissInvalidate>>
-                  : &Simulator::runLoopT<FastAccessSpec<
-                        false, WritePolicy::WriteMissInvalidate>>;
+        return dm ? loopFnsFor<FastAccessSpec<
+                        true, WritePolicy::WriteMissInvalidate>>()
+                  : loopFnsFor<FastAccessSpec<
+                        false, WritePolicy::WriteMissInvalidate>>();
       case WritePolicy::WriteOnly:
-        return dm ? &Simulator::runLoopT<
-                        FastAccessSpec<true, WritePolicy::WriteOnly>>
-                  : &Simulator::runLoopT<FastAccessSpec<
-                        false, WritePolicy::WriteOnly>>;
+        return dm ? loopFnsFor<
+                        FastAccessSpec<true, WritePolicy::WriteOnly>>()
+                  : loopFnsFor<FastAccessSpec<
+                        false, WritePolicy::WriteOnly>>();
       case WritePolicy::SubblockPlacement:
-        return dm ? &Simulator::runLoopT<FastAccessSpec<
-                        true, WritePolicy::SubblockPlacement>>
-                  : &Simulator::runLoopT<FastAccessSpec<
-                        false, WritePolicy::SubblockPlacement>>;
+        return dm ? loopFnsFor<FastAccessSpec<
+                        true, WritePolicy::SubblockPlacement>>()
+                  : loopFnsFor<FastAccessSpec<
+                        false, WritePolicy::SubblockPlacement>>();
     }
     genericPath = true;
-    return &Simulator::runLoopT<GenericAccessSpec>;
+    return loopFnsFor<GenericAccessSpec>();
 }
 
 bool
@@ -291,6 +295,200 @@ Simulator::runLoopT(Count n)
             sliceEnd = now + cfg.timeSliceCycles;
         }
     }
+}
+
+template <class Spec>
+bool
+Simulator::stepWarmInstruction(ProcState &p, Cycles now,
+                               Cycles &cycles, bool &syscall)
+{
+    // Structurally stepInstruction with the detailed access calls
+    // swapped for their warm twins: the base cycles still advance
+    // the clock (so write-buffer entry completion times and the
+    // scheduler stay meaningful), but memory-system stalls are
+    // neither computed nor charged.
+    if (p.bufPos == p.bufLen && !refill(p)) [[unlikely]]
+        return false;
+
+    const auto malformed = [&]() [[noreturn]] {
+        gaas_fatal("malformed trace for process ", p.proc.name,
+                   ": data reference without a preceding "
+                   "instruction");
+    };
+
+    Addr iaddr;
+    if (p.packedMode) {
+        const std::uint32_t w = p.pbuffer[p.bufPos++];
+        if (!trace::packed::isInst(w)) [[unlikely]]
+            malformed();
+        iaddr = trace::packed::addrOf(w);
+        syscall = trace::packed::flagOf(w);
+    } else {
+        const trace::MemRef &ref = p.buffer[p.bufPos++];
+        if (!ref.isInst()) [[unlikely]]
+            malformed();
+        iaddr = ref.addr;
+        syscall = ref.syscall;
+    }
+
+    cycles = 1 + p.stallAcc.tick();
+
+    sys.warmIfetchT<Spec>(now, p.proc.pid, iaddr);
+
+    if (p.bufPos == p.bufLen) [[unlikely]]
+        refill(p);
+    if (p.bufPos < p.bufLen) [[likely]] {
+        if (p.packedMode) {
+            const std::uint32_t w = p.pbuffer[p.bufPos];
+            const trace::RefKind kind = trace::packed::kindOf(w);
+            if (kind != trace::RefKind::Inst) {
+                ++p.bufPos;
+                const Addr daddr = trace::packed::addrOf(w);
+                if (kind == trace::RefKind::Load) {
+                    sys.warmLoadT<Spec>(now + cycles, p.proc.pid,
+                                        daddr);
+                } else {
+                    sys.warmStoreT<Spec>(now + cycles, p.proc.pid,
+                                         daddr,
+                                         trace::packed::flagOf(w));
+                }
+            }
+        } else {
+            const trace::MemRef &dref = p.buffer[p.bufPos];
+            if (dref.isData()) {
+                ++p.bufPos;
+                if (dref.isLoad()) {
+                    sys.warmLoadT<Spec>(now + cycles, p.proc.pid,
+                                        dref.addr);
+                } else {
+                    sys.warmStoreT<Spec>(now + cycles, p.proc.pid,
+                                         dref.addr, dref.partialWord);
+                }
+            }
+        }
+    }
+
+    ++p.instructions;
+    return true;
+}
+
+template <class Spec>
+void
+Simulator::warmLoopT(Count n)
+{
+    // runLoopT's scheduler, minus the watchdog and every measured
+    // counter: processes still interleave on slices and syscalls so
+    // the warmed hierarchy sees the interleaving the measurement
+    // will.
+    auto next_alive = [&](std::size_t from) {
+        std::size_t idx = from;
+        do {
+            idx = (idx + 1) % procs.size();
+        } while (!procs[idx].alive);
+        return idx;
+    };
+
+    if (!procs[current].alive && alive > 0)
+        current = next_alive(current);
+
+    Count executed = 0;
+    while (executed < n && alive > 0) {
+        ProcState &p = procs[current];
+
+        Cycles cycles = 0;
+        bool syscall = false;
+        if (!stepWarmInstruction<Spec>(p, now, cycles, syscall)) {
+            p.alive = false;
+            --alive;
+            if (alive == 0)
+                break;
+            current = next_alive(current);
+            sliceEnd = now + cfg.timeSliceCycles;
+            continue;
+        }
+
+        now += cycles;
+        ++executed;
+
+        if (syscall || now >= sliceEnd) [[unlikely]] {
+            if (alive > 1)
+                current = next_alive(current);
+            sliceEnd = now + cfg.timeSliceCycles;
+        }
+    }
+}
+
+void
+Simulator::runWarm(Count instructions_)
+{
+    (this->*warmFn)(instructions_);
+}
+
+void
+Simulator::selectProcess(std::size_t index)
+{
+    if (procs.empty() || alive == 0)
+        return;
+    index %= procs.size();
+    for (std::size_t step = 0; step < procs.size(); ++step) {
+        const std::size_t cand = (index + step) % procs.size();
+        if (procs[cand].alive) {
+            current = cand;
+            break;
+        }
+    }
+    sliceEnd = now + cfg.timeSliceCycles;
+}
+
+void
+Simulator::resyncProcess(ProcState &p)
+{
+    // A skip can land mid-instruction (between an Inst record and
+    // its data record); drop records until the stream stands at the
+    // next instruction so the step loop's grammar holds.
+    while (true) {
+        if (p.bufPos == p.bufLen && !refill(p))
+            return; // exhausted; the step loop retires the process
+        if (p.packedMode) {
+            if (trace::packed::isInst(p.pbuffer[p.bufPos]))
+                return;
+        } else {
+            if (p.buffer[p.bufPos].isInst())
+                return;
+        }
+        ++p.bufPos;
+    }
+}
+
+void
+Simulator::fastForward(const std::vector<Count> &per_process_refs)
+{
+    if (per_process_refs.size() != procs.size()) {
+        gaas_fatal("fastForward wants one ref count per process (",
+                   procs.size(), "), got ",
+                   per_process_refs.size());
+    }
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+        ProcState &p = procs[i];
+        Count want = per_process_refs[i];
+        if (want == 0 || !p.alive)
+            continue;
+        // Consume what the refill buffer already holds, then seek
+        // the source for the rest.
+        const Count buffered =
+            static_cast<Count>(p.bufLen - p.bufPos);
+        if (want <= buffered) {
+            p.bufPos += static_cast<std::size_t>(want);
+        } else {
+            p.bufPos = 0;
+            p.bufLen = 0;
+            p.proc.source->skip(
+                static_cast<std::size_t>(want - buffered));
+        }
+        resyncProcess(p);
+    }
+    // The jump invalidates the running slice; start a fresh one.
+    sliceEnd = now + cfg.timeSliceCycles;
 }
 
 void

@@ -44,6 +44,48 @@ class Simulator
     SimResult run(Count total_instructions,
                   Count warmup_instructions = 0);
 
+    /**
+     * @name Sampled-simulation hooks (core/sampling.hh)
+     * The sampling controller drives the machine through its
+     * interval schedule with these three: fastForward() seeks each
+     * process's trace past a gap without simulating it,
+     * runWarm() executes instructions through the functional-warming
+     * access paths (hierarchy state evolves, no loss accounting),
+     * and resetMeasurement() starts a measurement interval, whose
+     * counters the next run(n, 0) call then reports.
+     */
+    ///@{
+    /**
+     * Skip @p per_process_refs[i] trace *references* (not
+     * instructions) of process i without simulating them, then
+     * resynchronize each stream to the next instruction boundary so
+     * the step loop never sees a dangling data record.  Time slices
+     * restart after the jump.
+     */
+    void fastForward(const std::vector<Count> &per_process_refs);
+
+    /** Advance the machine by up to @p instructions through the
+     *  functional-warming paths (same scheduler, no stats). */
+    void runWarm(Count instructions);
+
+    /**
+     * Pin the scheduler to process @p index (mod process count;
+     * advanced to the next alive process if that one retired) and
+     * start a fresh time slice.  The sampling controller uses this
+     * to stratify measurement intervals by process: one 500k-cycle
+     * slice dwarfs a measurement interval, so without pinning every
+     * interval would measure whatever process happened to hold the
+     * CPU, not the round-robin mix.
+     */
+    void selectProcess(std::size_t index);
+
+    /** Zero the measured statistics while keeping all cache, TLB,
+     *  write-buffer and scheduler state (the warmed-hierarchy
+     *  measurement discipline; run() calls this itself after its
+     *  warmup phase). */
+    void resetMeasurement();
+    ///@}
+
     /** The cache system (for inspection after run()). */
     const CacheSystem &system() const { return sys; }
 
@@ -120,6 +162,12 @@ class Simulator
     bool stepInstruction(ProcState &p, Cycles now, Cycles &cycles,
                          bool &syscall);
 
+    /** stepInstruction through the functional-warming access paths:
+     *  state updates only, base cycles keep the clock moving. */
+    template <class Spec>
+    bool stepWarmInstruction(ProcState &p, Cycles now, Cycles &cycles,
+                             bool &syscall);
+
     /** Advance the scheduler/machine by up to @p n instructions
      *  (dispatches to the runLoopT selected at construction). */
     void runLoop(Count n);
@@ -128,14 +176,35 @@ class Simulator
     template <class Spec>
     void runLoopT(Count n);
 
+    /** The warming loop: runLoopT's scheduler structure over
+     *  stepWarmInstruction, with no measured counters. */
+    template <class Spec>
+    void warmLoopT(Count n);
+
     using LoopFn = void (Simulator::*)(Count);
 
-    /** Select the runLoopT instantiation for the configuration
-     *  (also records the choice in genericPath). */
-    LoopFn pickLoop();
+    /** The detail/warm loop pair one access-path spec yields. */
+    struct LoopFns
+    {
+        LoopFn detail = nullptr;
+        LoopFn warm = nullptr;
+    };
 
-    /** Zero the measured statistics (cache state persists). */
-    void resetMeasurement();
+    template <class Spec>
+    static constexpr LoopFns
+    loopFnsFor()
+    {
+        return {&Simulator::runLoopT<Spec>,
+                &Simulator::warmLoopT<Spec>};
+    }
+
+    /** Select the loop instantiations for the configuration
+     *  (also records the choice in genericPath). */
+    LoopFns pickLoop();
+
+    /** Drop buffered references until the stream stands at an
+     *  instruction record (or is exhausted), after a fastForward. */
+    void resyncProcess(ProcState &p);
 
     SystemConfig cfg;
     CacheSystem sys;
@@ -153,6 +222,7 @@ class Simulator
     /** @name Access-path selection (fixed per configuration) */
     ///@{
     LoopFn loopFn = nullptr;
+    LoopFn warmFn = nullptr;
     bool forceGeneric = false; //!< setter or GAAS_SIM_GENERIC
     bool genericPath = true;   //!< what pickLoop() last chose
     /** Write-through stores probe L2 every time; prefetch those

@@ -31,6 +31,35 @@ collectStats(const SimResult &r)
                 "switches forced by voluntary syscalls");
     r.comp.registerInto(reg);
     r.sys.registerInto(reg);
+    if (r.sampling.enabled()) {
+        // Only sampled runs carry this section, so every dump of a
+        // full-detail run -- the golden corpus included -- is
+        // byte-identical to the pre-sampling format.
+        reg.beginSection("sampling");
+        reg.counter("sampling.passes", r.sampling.passes,
+                    "controller sizing passes");
+        reg.counter("sampling.intervals", r.sampling.intervals,
+                    "measurement intervals (0 = full-detail "
+                    "fallback)");
+        reg.counter("sampling.measured_instructions",
+                    r.sampling.measuredInstructions,
+                    "instructions simulated in detail");
+        reg.counter("sampling.warmed_instructions",
+                    r.sampling.warmedInstructions,
+                    "instructions functionally warmed");
+        reg.counter("sampling.skipped_instructions",
+                    r.sampling.skippedInstructions,
+                    "instructions fast-forwarded past");
+        reg.value("sampling.cpi_mean", r.sampling.cpiMean,
+                  "mean of per-interval CPIs");
+        reg.value("sampling.cpi_std_error", r.sampling.cpiStdError,
+                  "standard error of the mean CPI");
+        reg.value("sampling.cpi_half_width",
+                  r.sampling.cpiHalfWidth,
+                  "95% confidence half-width on the mean CPI");
+        reg.value("sampling.confidence", r.sampling.confidence,
+                  "confidence level of the interval");
+    }
     return reg;
 }
 

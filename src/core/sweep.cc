@@ -78,7 +78,14 @@ runSweepJob(const SweepJob &job, SweepJobStats *stats)
     // plus any grow-on-demand during the run).
     trace::TraceArena::resetThreadTally();
     SimResult result;
-    {
+    if (job.sampling.enabled && !job.workload) {
+        // Sampled point: the controller owns workload construction
+        // (one per sizing pass), so the whole thing is sim time.
+        obs::ScopedTimer timer(local.simSeconds);
+        result = runSampled(job.config, job.sampling,
+                            job.instructions, job.mpLevel,
+                            job.warmup, job.watchdogCycles);
+    } else {
         // The simulator is built inside the build phase and run in
         // the sim phase; std::optional lets the two RAII timers
         // bracket construction and execution separately.

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "core/sampling.hh"
 #include "core/simulator.hh"
 #include "core/workload.hh"
 #include "util/error.hh"
@@ -49,6 +50,15 @@ struct SweepJob
     /** Per-instruction cycle budget for the zero-progress watchdog
      *  (Simulator::setWatchdogCycles); 0 = off. */
     Cycles watchdogCycles = 0;
+
+    /**
+     * Sampled-simulation plan (core/sampling.hh).  Disabled by
+     * default; when enabled (and the job has no custom workload
+     * builder) the point runs through runSampled instead of a
+     * full-detail Simulator::run, and the sampling knobs become
+     * part of the job's journal key.
+     */
+    SamplingConfig sampling;
 
     /**
      * Optional workload builder, called on the worker that runs the

@@ -13,6 +13,14 @@ SampleStat::stddev() const
     return std::sqrt(variance());
 }
 
+double
+SampleStat::stdError() const
+{
+    return n > 1
+               ? std::sqrt(sampleVariance() / static_cast<double>(n))
+               : 0.0;
+}
+
 void
 SampleStat::merge(const SampleStat &other)
 {
@@ -93,10 +101,24 @@ Histogram::cdf(double x) const
 double
 Histogram::quantile(double q) const
 {
-    if (sample.count() == 0)
+    const std::uint64_t n = sample.count();
+    if (n == 0)
         return 0.0;
-    const auto target = static_cast<std::uint64_t>(
-        q * static_cast<double>(sample.count()));
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the order statistic the quantile asks for, 1-based.
+    // ceil (not truncation) keeps this consistent with cdf(): the
+    // q-quantile is the smallest edge x with cdf-mass >= q, so for
+    // q*n fractional we must step up to the next whole sample, and
+    // q = 0 still asks for the smallest sample (rank 1) rather than
+    // an empty prefix (a truncated rank 0 made quantile(0) return
+    // 0.0 even when every sample was large).
+    const double scaled = q * static_cast<double>(n);
+    std::uint64_t target = static_cast<std::uint64_t>(std::ceil(scaled));
+    if (target == 0)
+        target = 1;
     std::uint64_t cum = underflowCount;
     if (cum >= target)
         return 0.0;

@@ -42,12 +42,25 @@ class SampleStat
     std::uint64_t count() const { return n; }
     double mean() const { return n ? mu : 0.0; }
 
-    /** Population variance. */
+    /** Population variance (divides by n).  Feeds the dumped .stddev
+     *  metric keys; inference uses sampleVariance()/stdError(). */
     double
     variance() const
     {
         return n ? m2 / static_cast<double>(n) : 0.0;
     }
+
+    /** Unbiased sample variance (divides by n - 1; 0 for n < 2).
+     *  This is the estimator confidence-interval math must use. */
+    double
+    sampleVariance() const
+    {
+        return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+    }
+
+    /** Standard error of the mean, sqrt(sampleVariance / n)
+     *  (0 for n < 2). */
+    double stdError() const;
 
     double stddev() const;
     double min() const { return n ? lo : 0.0; }
@@ -109,9 +122,12 @@ class Histogram
      */
     double cdf(double x) const;
 
-    /** Smallest bucket upper edge with CDF >= @p q (approximate
-     *  quantile; returns 0 when the quantile falls in the underflow
-     *  tail, and the max edge if q is out of range). */
+    /** Smallest bucket upper edge whose CDF covers the rank
+     *  ceil(q * count) (clamped to at least rank 1, so q = 0 asks for
+     *  the smallest sample), consistent with the cdf() boundary
+     *  convention.  Returns 0 when the quantile falls in the
+     *  underflow tail and the max edge when it falls in the overflow
+     *  tail; @p q is clamped to [0, 1]. */
     double quantile(double q) const;
 
     void reset();

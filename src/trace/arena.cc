@@ -381,4 +381,17 @@ ArenaSource::nextBatchPacked(std::uint32_t *out, std::size_t n)
     return got;
 }
 
+std::size_t
+ArenaSource::skip(std::size_t n)
+{
+    // One ensure() suffices: on return the stream is published
+    // through min(target, pass length), so the clamp below is final.
+    const std::size_t max = std::numeric_limits<std::size_t>::max();
+    stream->ensure(n > max - pos ? max : pos + n);
+    const std::size_t pub = stream->publishedRefs();
+    const std::size_t take = pos < pub ? std::min(n, pub - pos) : 0;
+    pos += take;
+    return take;
+}
+
 } // namespace gaas::trace

@@ -232,6 +232,12 @@ class ArenaSource : public TraceSource
     std::size_t nextBatch(MemRef *out, std::size_t n) override;
     std::size_t nextBatchPacked(std::uint32_t *out,
                                 std::size_t n) override;
+
+    /** True seek: materialize through the target position (the block
+     *  table is immutable, so no records are copied) and advance the
+     *  cursor, clamped to the pass end. */
+    std::size_t skip(std::size_t n) override;
+
     void reset() override { pos = 0; }
     std::string name() const override { return label; }
 

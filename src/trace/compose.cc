@@ -58,6 +58,15 @@ LimitSource::nextBatch(MemRef *out, std::size_t n)
     return got;
 }
 
+std::size_t
+LimitSource::skip(std::size_t n)
+{
+    const std::size_t take = std::min(n, limit - produced);
+    const std::size_t got = inner->skip(take);
+    produced += got;
+    return got;
+}
+
 void
 LimitSource::reset()
 {
@@ -78,14 +87,31 @@ LoopSource::LoopSource(std::unique_ptr<TraceSource> inner_)
         gaas_fatal("LoopSource requires an inner source");
 }
 
+void
+LoopSource::noteWrap()
+{
+    // The inner source just reported exhaustion, so the records
+    // consumed since its last reset are one full pass: learn the
+    // length (skip() needs it for whole-pass arithmetic) and wrap.
+    if (innerPos > 0)
+        innerLen = innerPos;
+    innerPos = 0;
+    inner->reset();
+    ++wrapCount;
+}
+
 bool
 LoopSource::next(MemRef &ref)
 {
-    if (inner->next(ref))
+    if (inner->next(ref)) {
+        ++innerPos;
         return true;
-    inner->reset();
-    ++wrapCount;
-    return inner->next(ref);
+    }
+    noteWrap();
+    if (!inner->next(ref))
+        return false;
+    ++innerPos;
+    return true;
 }
 
 std::size_t
@@ -93,19 +119,22 @@ LoopSource::nextBatch(MemRef *out, std::size_t n)
 {
     std::size_t produced = 0;
     while (produced < n) {
-        produced += inner->nextBatch(out + produced, n - produced);
+        const std::size_t head =
+            inner->nextBatch(out + produced, n - produced);
+        produced += head;
+        innerPos += head;
         if (produced == n)
             break;
         // Inner exhausted mid-batch: wrap, exactly as next() would,
         // then keep filling in batches -- the refill can itself hit
         // the end (short inner trace, large n), so loop.
-        inner->reset();
-        ++wrapCount;
+        noteWrap();
         const std::size_t got =
             inner->nextBatch(out + produced, n - produced);
         if (got == 0)
             break; // empty even after a reset: give up, as next()
         produced += got;
+        innerPos += got;
     }
     return produced;
 }
@@ -116,17 +145,49 @@ LoopSource::nextBatchPacked(std::uint32_t *out, std::size_t n)
     std::size_t produced = inner->nextBatchPacked(out, n);
     if (produced == kNoPacked)
         return kNoPacked;
+    innerPos += produced;
     // Wrap exactly as nextBatch() does.
     while (produced < n) {
-        inner->reset();
-        ++wrapCount;
+        noteWrap();
         const std::size_t got =
             inner->nextBatchPacked(out + produced, n - produced);
         if (got == 0)
             break; // empty even after a reset: give up, as next()
         produced += got;
+        innerPos += got;
     }
     return produced;
+}
+
+std::size_t
+LoopSource::skip(std::size_t n)
+{
+    std::size_t remaining = n;
+    while (remaining > 0) {
+        if (innerLen > 0 && remaining >= innerLen - innerPos) {
+            // Known pass length and the skip reaches the pass end:
+            // whole passes reduce to modular arithmetic plus one
+            // reset -- no records are generated or copied.
+            remaining -= innerLen - innerPos;
+            wrapCount += 1 + remaining / innerLen;
+            remaining %= innerLen;
+            inner->reset();
+            innerPos = 0;
+            if (remaining == 0)
+                break;
+        }
+        const std::size_t got = inner->skip(remaining);
+        innerPos += got;
+        remaining -= got;
+        if (remaining == 0)
+            break;
+        // Inner exhausted before the length was known (or the inner
+        // stream shrank): learn/relearn the pass length and wrap.
+        if (innerPos == 0)
+            break; // empty even after a reset: give up, as next()
+        noteWrap();
+    }
+    return n - remaining;
 }
 
 void
@@ -134,6 +195,9 @@ LoopSource::reset()
 {
     inner->reset();
     wrapCount = 0;
+    innerPos = 0;
+    // innerLen survives: the inner stream restarts deterministically,
+    // so a learned pass length stays valid across resets.
 }
 
 std::string
@@ -174,6 +238,18 @@ ConcatSource::nextBatch(MemRef *out, std::size_t n)
             ++current; // this part is exhausted
     }
     return produced;
+}
+
+std::size_t
+ConcatSource::skip(std::size_t n)
+{
+    std::size_t done = 0;
+    while (done < n && current < parts.size()) {
+        done += parts[current]->skip(n - done);
+        if (done < n)
+            ++current; // this part is exhausted
+    }
+    return done;
 }
 
 void

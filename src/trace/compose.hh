@@ -23,6 +23,7 @@ class LimitSource : public TraceSource
 
     bool next(MemRef &ref) override;
     std::size_t nextBatch(MemRef *out, std::size_t n) override;
+    std::size_t skip(std::size_t n) override;
     void reset() override;
     std::string name() const override;
 
@@ -49,6 +50,23 @@ class LoopSource : public TraceSource
     std::size_t nextBatch(MemRef *out, std::size_t n) override;
     std::size_t nextBatchPacked(std::uint32_t *out,
                                 std::size_t n) override;
+
+    /**
+     * Seek forward @p n records, wrapping as needed: a skip past the
+     * inner stream's end lands at (position + n) % length, exactly
+     * where n discarded next() calls would land.  Once the pass
+     * length is known (learned at the first wrap) whole passes cost
+     * one reset() instead of a re-generate, so interval seeking over
+     * an arena view is O(passes), not O(records).
+     *
+     * Wrap accounting: a skip that reaches the pass end with a known
+     * length wraps eagerly (lands at offset 0, wraps() already
+     * bumped), while the read paths wrap lazily on the next record;
+     * the produced stream is identical either way and wraps() agrees
+     * again after the next read.
+     */
+    std::size_t skip(std::size_t n) override;
+
     void reset() override;
     std::string name() const override;
 
@@ -56,8 +74,16 @@ class LoopSource : public TraceSource
     std::uint64_t wraps() const { return wrapCount; }
 
   private:
+    /** Learn the pass length, reset the inner source and count the
+     *  wrap (called when the inner source reports exhaustion). */
+    void noteWrap();
+
     std::unique_ptr<TraceSource> inner;
     std::uint64_t wrapCount = 0;
+    /** Records consumed from the inner source since its last reset. */
+    std::size_t innerPos = 0;
+    /** Inner pass length, learned at the first wrap (0 = unknown). */
+    std::size_t innerLen = 0;
 };
 
 /** Play several sources back to back. */
@@ -69,6 +95,7 @@ class ConcatSource : public TraceSource
 
     bool next(MemRef &ref) override;
     std::size_t nextBatch(MemRef *out, std::size_t n) override;
+    std::size_t skip(std::size_t n) override;
     void reset() override;
     std::string name() const override;
 

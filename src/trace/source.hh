@@ -76,6 +76,32 @@ class TraceSource
         return kNoPacked;
     }
 
+    /**
+     * Discard the next @p n records, as if next() were called @p n
+     * times and the results thrown away.  Sources with random-access
+     * storage (the arena view, the compose adapters over it)
+     * override this to seek instead of generate, which is what makes
+     * sampled simulation's fast-forward between measurement
+     * intervals cheap.
+     *
+     * @return the number of records skipped; less than @p n only
+     *         when the trace is exhausted
+     */
+    virtual std::size_t
+    skip(std::size_t n)
+    {
+        MemRef scratch[64];
+        std::size_t done = 0;
+        while (done < n) {
+            const std::size_t want = std::min(n - done, std::size_t{64});
+            const std::size_t got = nextBatch(scratch, want);
+            done += got;
+            if (got < want)
+                break;
+        }
+        return done;
+    }
+
     /** Restart the stream from its beginning (deterministically). */
     virtual void reset() = 0;
 
@@ -109,6 +135,14 @@ class VectorSource : public TraceSource
         const std::size_t take = std::min(n, records.size() - pos);
         std::copy_n(records.begin() + static_cast<std::ptrdiff_t>(pos),
                     take, out);
+        pos += take;
+        return take;
+    }
+
+    std::size_t
+    skip(std::size_t n) override
+    {
+        const std::size_t take = std::min(n, records.size() - pos);
         pos += take;
         return take;
     }

@@ -1,6 +1,7 @@
 #include "env.hh"
 
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/logging.hh"
@@ -32,6 +33,34 @@ envU64(const char *name, std::uint64_t fallback)
         return *parsed;
     warn("ignoring bad ", name, "=", value,
          " (want a positive decimal integer)");
+    return fallback;
+}
+
+std::optional<double>
+parseDouble(std::string_view text)
+{
+    if (text.empty())
+        return std::nullopt;
+    double value = 0.0;
+    const char *begin = text.data();
+    const char *end = begin + text.size();
+    const auto res = std::from_chars(begin, end, value);
+    if (res.ec != std::errc{} || res.ptr != end ||
+        !std::isfinite(value))
+        return std::nullopt;
+    return value;
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    if (const auto parsed = parseDouble(value); parsed && *parsed > 0)
+        return *parsed;
+    warn("ignoring bad ", name, "=", value,
+         " (want a positive decimal number)");
     return fallback;
 }
 

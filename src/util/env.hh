@@ -39,6 +39,20 @@ std::optional<std::uint64_t> parseU64(std::string_view text);
  */
 std::uint64_t envU64(const char *name, std::uint64_t fallback);
 
+/**
+ * Parse the whole of @p text as a finite decimal double
+ * (std::from_chars, fixed or scientific; no leading whitespace or
+ * trailing garbage tolerated, same strictness as parseU64).
+ */
+std::optional<double> parseDouble(std::string_view text);
+
+/**
+ * Read environment variable @p name as a positive finite double.
+ * Unset or empty returns @p fallback silently; a present but
+ * malformed or non-positive value warns and returns @p fallback.
+ */
+double envDouble(const char *name, double fallback);
+
 } // namespace gaas
 
 #endif // GAAS_UTIL_ENV_HH

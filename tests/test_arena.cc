@@ -23,6 +23,7 @@
 #include "synth/benchmark.hh"
 #include "synth/suite.hh"
 #include "trace/arena.hh"
+#include "trace/compose.hh"
 #include "trace/source.hh"
 
 namespace gaas::trace
@@ -115,6 +116,64 @@ TEST(ArenaStream, PacksEveryFlagCombination)
     EXPECT_EQ(drain(view), records);
     EXPECT_EQ(stream->passRefs(), records.size());
     EXPECT_GT(stream->bytes(), 0u);
+}
+
+TEST(ArenaSource, SkipMatchesDiscardedReadsOnColdAndWarmStream)
+{
+    // skip() on a cold stream triggers generation up to the target
+    // (interval seeking must not change what is generated); on a
+    // warm stream it is pure pointer arithmetic.  Either way the
+    // tail after a skip must equal the tail after that many reads.
+    const synth::BenchmarkSpec spec = smallSpec(20'000);
+    auto fresh = synth::makeBenchmark(spec);
+    const std::vector<MemRef> expected = drain(*fresh);
+    ASSERT_GT(expected.size(), 1000u);
+
+    TraceArena arena;
+    ArenaStream *stream = arena.acquire(
+        "skip", 2 * spec.simInstructions, 0,
+        [spec] { return synth::makeBenchmark(spec); });
+
+    for (std::size_t skip : {std::size_t{0}, std::size_t{997},
+                             expected.size() - 1}) {
+        ArenaSource view(stream, "view");
+        ASSERT_EQ(view.skip(skip), skip);
+        MemRef ref;
+        ASSERT_TRUE(view.next(ref)) << "skip " << skip;
+        EXPECT_EQ(ref, expected[skip]) << "skip " << skip;
+    }
+}
+
+TEST(ArenaSource, SkipClampsAtPassEnd)
+{
+    const synth::BenchmarkSpec spec = smallSpec(10'000);
+    auto fresh = synth::makeBenchmark(spec);
+    const std::size_t passLen = drain(*fresh).size();
+
+    TraceArena arena;
+    ArenaStream *stream = arena.acquire(
+        "skip-end", 2 * spec.simInstructions, 0,
+        [spec] { return synth::makeBenchmark(spec); });
+
+    // A skip past the pass end consumes only what exists ...
+    ArenaSource view(stream, "view");
+    EXPECT_EQ(view.skip(passLen + 12345), passLen);
+    MemRef ref;
+    EXPECT_FALSE(view.next(ref));
+
+    // ... which is exactly what LoopSource needs to learn the pass
+    // length and wrap: a looped view lands at (position + n) mod
+    // pass length, however large the skip.
+    LoopSource looped(
+        std::make_unique<ArenaSource>(stream, "looped"));
+    const std::size_t skip = 3 * passLen + 17;
+    EXPECT_EQ(looped.skip(skip), skip);
+    ArenaSource probe(stream, "probe");
+    ASSERT_EQ(probe.skip(17u), 17u);
+    MemRef fromLoop, fromProbe;
+    ASSERT_TRUE(looped.next(fromLoop));
+    ASSERT_TRUE(probe.next(fromProbe));
+    EXPECT_EQ(fromLoop, fromProbe);
 }
 
 TEST(ArenaStream, ConcurrentFirstTouchGrowth)

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "stats/distribution.hh"
 #include "stats/table.hh"
@@ -95,6 +98,74 @@ TEST(SampleStat, MergeSingleSamples)
     EXPECT_DOUBLE_EQ(lo.max(), 4.0);
 }
 
+TEST(SampleStat, UnbiasedSampleVarianceAndStdError)
+{
+    SampleStat s;
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stdError(), 0.0);
+    s.add(3.0);
+    // A single sample has no spread information.
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stdError(), 0.0);
+    s.add(5.0);
+    // {3, 5}: population variance 1, unbiased sample variance 2,
+    // standard error sqrt(2 / 2) = 1.
+    EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 2.0);
+    EXPECT_DOUBLE_EQ(s.stdError(), 1.0);
+}
+
+TEST(SampleStat, RandomizedAddAndMergeMatchTwoPassReference)
+{
+    // Deterministic xorshift stream spanning several orders of
+    // magnitude, to stress the streaming (Welford/Chan) update
+    // against a plain two-pass computation.
+    std::uint64_t x = 0x243F6A8885A308D3ull;
+    auto nextU = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+    std::vector<double> values;
+    for (int i = 0; i < 2000; ++i) {
+        const double u =
+            static_cast<double>(nextU() >> 11) * 0x1p-53;
+        values.push_back((u - 0.5) * std::pow(10.0, i % 5));
+    }
+
+    // Two-pass reference moments.
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    const double mean = sum / static_cast<double>(values.size());
+    double ss = 0.0;
+    for (const double v : values)
+        ss += (v - mean) * (v - mean);
+    const double sampleVar =
+        ss / static_cast<double>(values.size() - 1);
+    const double stdErr =
+        std::sqrt(sampleVar / static_cast<double>(values.size()));
+
+    // Stream the values into a randomly-cut sequence of shards and
+    // merge them back together, as the sweep engine does.
+    std::vector<SampleStat> shards(1);
+    for (const double v : values) {
+        if (nextU() % 7 == 0)
+            shards.emplace_back();
+        shards.back().add(v);
+    }
+    SampleStat merged;
+    for (const SampleStat &s : shards)
+        merged.merge(s);
+
+    EXPECT_EQ(merged.count(), values.size());
+    EXPECT_NEAR(merged.mean(), mean, 1e-9 * std::fabs(mean) + 1e-12);
+    EXPECT_NEAR(merged.sampleVariance(), sampleVar,
+                1e-9 * sampleVar);
+    EXPECT_NEAR(merged.stdError(), stdErr, 1e-9 * stdErr);
+}
+
 TEST(Histogram, BucketsAndBothTails)
 {
     Histogram h(1.0, 10);
@@ -150,6 +221,34 @@ TEST(Histogram, CdfCountsBothTailsExactly)
 
     // A quantile that lands in the underflow tail pins to 0.
     EXPECT_DOUBLE_EQ(h.quantile(0.1), 0.0);
+}
+
+TEST(Histogram, QuantileUsesCeilRank)
+{
+    // A single sample far from zero: every quantile -- including
+    // q = 0, whose rank must floor at 1, not truncate to an empty
+    // prefix -- names that sample's bucket upper edge.
+    Histogram h(1.0, 100);
+    h.add(41.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.0);
+}
+
+TEST(Histogram, QuantileStepsAtExactRankBoundaries)
+{
+    Histogram h(1.0, 10);
+    for (double v : {0.5, 1.5, 2.5, 3.5})
+        h.add(v);
+    // rank = ceil(q * 4): q in (0, 1/4] names the 1st order
+    // statistic, (1/4, 2/4] the 2nd, and so on -- the boundary
+    // itself must NOT step up.
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.26), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.75), 3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.76), 4.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
 }
 
 TEST(Histogram, RejectsBadConfig)

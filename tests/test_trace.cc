@@ -149,6 +149,58 @@ TEST(LoopSource, EmptyInnerBatchTerminates)
     EXPECT_EQ(looped.nextBatch(buf, 4), 0u);
 }
 
+TEST(LoopSource, SkipMatchesDiscardedReads)
+{
+    // skip(n) must land exactly where n discarded reads would, for
+    // skips that stay inside the pass, hit its end exactly, cross
+    // it once, and cross it several times -- both before the pass
+    // length is known (pre == 0 starts on a fresh source) and
+    // after.
+    const auto sample = sampleTrace();
+    const std::size_t n = sample.size();
+    for (std::size_t pre : {std::size_t{0}, std::size_t{3}}) {
+        for (std::size_t skip :
+             {std::size_t{0}, std::size_t{1}, n - 1, n, n + 1,
+              2 * n - 1, 2 * n, 5 * n + 2}) {
+            LoopSource skipped(
+                std::make_unique<VectorSource>("s", sample));
+            LoopSource read(
+                std::make_unique<VectorSource>("s", sample));
+            (void)collect(skipped, pre);
+            (void)collect(read, pre);
+            EXPECT_EQ(skipped.skip(skip), skip);
+            (void)collect(read, skip);
+            EXPECT_EQ(collect(skipped, 2 * n), collect(read, 2 * n))
+                << "pre " << pre << " skip " << skip;
+        }
+    }
+}
+
+TEST(LoopSource, SkipCountsWholePassWraps)
+{
+    const auto sample = sampleTrace();
+    const std::size_t n = sample.size();
+    LoopSource looped(std::make_unique<VectorSource>("s", sample));
+    // Read one record past the end so the pass length is learned.
+    (void)collect(looped, n + 1);
+    EXPECT_EQ(looped.wraps(), 1u);
+    // Three whole passes from offset 1: pure modular arithmetic.
+    EXPECT_EQ(looped.skip(3 * n), 3 * n);
+    EXPECT_EQ(looped.wraps(), 4u);
+    MemRef ref;
+    ASSERT_TRUE(looped.next(ref));
+    EXPECT_EQ(ref, sample[1]);
+}
+
+TEST(LoopSource, SkipOnEmptyInnerReturnsZero)
+{
+    LoopSource looped(std::make_unique<VectorSource>(
+        "empty", std::vector<MemRef>{}));
+    EXPECT_EQ(looped.skip(5), 0u);
+    MemRef ref;
+    EXPECT_FALSE(looped.next(ref));
+}
+
 TEST(ConcatSource, PlaysPartsInOrder)
 {
     std::vector<std::unique_ptr<TraceSource>> parts;

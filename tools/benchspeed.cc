@@ -24,10 +24,20 @@
  * hot-path regression (the floor is generous -- a fraction of the
  * recorded rate -- so host noise does not flake the suite).
  *
- * Usage: benchspeed [--smoke] [--out FILE] [--floor REFS]
+ * `--sample` switches to the sampled-simulation benchmark instead:
+ * the same ladder runs once at full detail and once under the
+ * SMARTS-style sampling controller (core/sampling.hh), every sampled
+ * point's CPI is checked against its own 95% confidence interval
+ * around the full-detail value (a hard failure outside it, except in
+ * --smoke whose intervals are too few to promise coverage), and the
+ * wall-clock/speedup comparison goes to `BENCH_7.json` -- the
+ * sampled ladder's refs/s recorded next to the full-detail floor.
+ *
+ * Usage: benchspeed [--smoke] [--sample] [--out FILE] [--floor REFS]
  */
 
 #include <array>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -36,6 +46,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "core/sampling.hh"
 #include "core/stats_dump.hh"
 #include "core/sweep.hh"
 #include "obs/json.hh"
@@ -114,6 +125,7 @@ struct ModeRun
     double refsPerSecond = 0.0;
     core::SweepStats stats;
     std::vector<std::string> dumps; //!< per-point stats text
+    std::vector<core::SimResult> results; //!< per-point results
     std::array<PhaseStat, kOrgCount> phases{};
 };
 
@@ -145,6 +157,7 @@ runMode(const std::vector<core::SweepJob> &jobs, bool arena_on)
         std::ostringstream os;
         core::dumpStats(out.result, os);
         run.dumps.push_back(os.str());
+        run.results.push_back(out.result);
     }
     return run;
 }
@@ -178,17 +191,186 @@ phasesJson(const ModeRun &run, std::size_t points_per_phase)
     return arr;
 }
 
+/**
+ * The --sample benchmark: full-detail vs sampled ladder, CPI-vs-CI
+ * cross-check, BENCH_7.json.  Returns the process exit code.
+ */
+int
+runSampleBench(bool smoke, std::string outPath, double floorRefs)
+{
+    if (outPath.empty())
+        outPath = "BENCH_7.json";
+
+    // The real fig6 budget (Sweep::addScaled factor 4 over the
+    // 4M-instruction default): the speedup claim is about the
+    // figure the paper reproduction actually runs.
+    const Count instructions = smoke ? 200'000 : 16'000'000;
+    const Count warmup = smoke ? 20'000 : 8'000'000;
+    const unsigned mp = smoke ? 4 : 8;
+    auto jobs = ladder(instructions, warmup, mp);
+
+    core::SamplingConfig plan;
+    plan.enabled = true;
+    if (smoke) {
+        plan.measureInstructions = 2'000;
+        plan.headInstructions = 4'000;
+        plan.warmInstructions = 6'000;
+        plan.minIntervals = 4;
+        plan.maxIntervals = 8;
+    }
+
+    std::cout << "benchspeed --sample: " << jobs.size()
+              << "-point fig6 ladder, " << instructions
+              << " instructions + " << warmup << " warmup, mp "
+              << mp << ", " << core::sweepWorkers()
+              << " worker(s)\n";
+
+    const ModeRun full = runMode(jobs, true);
+    std::cout << "  full detail: " << full.wallSeconds
+              << " s wall, " << full.refsPerSecond << " refs/s\n";
+
+    for (auto &job : jobs)
+        job.sampling = plan;
+    const ModeRun sampled = runMode(jobs, true);
+    std::cout << "  sampled:     " << sampled.wallSeconds
+              << " s wall, " << sampled.refsPerSecond
+              << " measured refs/s\n";
+
+    int rc = 0;
+    std::size_t inside = 0, fallbacks = 0;
+    obs::JsonValue pointsJson = obs::JsonValue::array();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const core::SimResult &f = full.results[i];
+        const core::SimResult &s = sampled.results[i];
+        const double err = s.sampling.cpiMean - f.cpi();
+        const bool within =
+            std::abs(err) <= s.sampling.cpiHalfWidth;
+        if (!s.sampling.enabled()) {
+            std::cerr << "benchspeed: FAIL: point '" << f.configName
+                      << "' did not run sampled\n";
+            rc = 1;
+        } else if (s.sampling.intervals == 0) {
+            ++fallbacks; // exact full-detail fallback: trivially ok
+            ++inside;
+        } else if (within) {
+            ++inside;
+        } else if (!smoke) {
+            std::cerr << "benchspeed: FAIL: point '" << f.configName
+                      << "' full-detail cpi " << f.cpi()
+                      << " outside sampled " << s.sampling.cpiMean
+                      << " +/- " << s.sampling.cpiHalfWidth << "\n";
+            rc = 1;
+        }
+        obs::JsonValue one = obs::JsonValue::object();
+        one.members.emplace_back(
+            "config", obs::JsonValue::string(f.configName));
+        one.members.emplace_back("full_cpi", num(f.cpi()));
+        one.members.emplace_back("sampled_cpi",
+                                 num(s.sampling.cpiMean));
+        one.members.emplace_back("half_width",
+                                 num(s.sampling.cpiHalfWidth));
+        one.members.emplace_back(
+            "intervals",
+            num(static_cast<double>(s.sampling.intervals)));
+        one.members.emplace_back("within_ci", num(within ? 1 : 0));
+        pointsJson.items.push_back(std::move(one));
+    }
+    std::cout << "  within CI: " << inside << "/" << jobs.size()
+              << " (" << fallbacks << " full-detail fallback(s))\n";
+
+    if (floorRefs > 0.0 && full.refsPerSecond < floorRefs) {
+        std::cerr << "benchspeed: FAIL: full-detail rate "
+                  << full.refsPerSecond
+                  << " refs/s is below the floor " << floorRefs
+                  << " refs/s\n";
+        rc = 1;
+    }
+
+    const double speedup =
+        sampled.wallSeconds > 0.0
+            ? full.wallSeconds / sampled.wallSeconds
+            : 0.0;
+    if (!smoke && speedup < 10.0) {
+        std::cerr << "benchspeed: FAIL: sampled ladder speedup "
+                  << speedup << "x is below the 10x target\n";
+        rc = 1;
+    }
+
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.members.emplace_back(
+        "benchmark",
+        obs::JsonValue::string("fig6-ladder-sampled"));
+    doc.members.emplace_back("smoke", num(smoke ? 1 : 0));
+    doc.members.emplace_back(
+        "points", num(static_cast<double>(jobs.size())));
+    doc.members.emplace_back(
+        "instructions_per_point",
+        num(static_cast<double>(instructions)));
+    doc.members.emplace_back(
+        "warmup_per_point", num(static_cast<double>(warmup)));
+    doc.members.emplace_back("mp_level",
+                             num(static_cast<double>(mp)));
+    doc.members.emplace_back(
+        "workers", num(static_cast<double>(full.stats.workers)));
+    doc.members.emplace_back("floor_refs_per_second",
+                             num(floorRefs));
+
+    obs::JsonValue fullJson = obs::JsonValue::object();
+    fullJson.members.emplace_back("wall_seconds",
+                                  num(full.wallSeconds));
+    fullJson.members.emplace_back("refs_per_second",
+                                  num(full.refsPerSecond));
+    doc.members.emplace_back("full_detail", std::move(fullJson));
+
+    obs::JsonValue sampJson = obs::JsonValue::object();
+    sampJson.members.emplace_back("wall_seconds",
+                                  num(sampled.wallSeconds));
+    sampJson.members.emplace_back("measured_refs_per_second",
+                                  num(sampled.refsPerSecond));
+    sampJson.members.emplace_back(
+        "measure_instructions",
+        num(static_cast<double>(plan.measureInstructions)));
+    sampJson.members.emplace_back(
+        "warm_instructions",
+        num(static_cast<double>(plan.warmInstructions)));
+    sampJson.members.emplace_back("target_rel_half_width",
+                                  num(plan.targetRelHalfWidth));
+    sampJson.members.emplace_back(
+        "points_within_ci", num(static_cast<double>(inside)));
+    sampJson.members.emplace_back(
+        "fallback_points", num(static_cast<double>(fallbacks)));
+    doc.members.emplace_back("sampled", std::move(sampJson));
+
+    doc.members.emplace_back("per_point", std::move(pointsJson));
+    doc.members.emplace_back("speedup", num(speedup));
+
+    std::string error;
+    if (!util::writeFileAtomicRetry(
+            outPath, obs::writeJsonString(doc) + "\n", &error)) {
+        std::cerr << "benchspeed: cannot write " << outPath << ": "
+                  << error << "\n";
+        rc = 1;
+    } else {
+        std::cout << "  speedup " << speedup << "x -> " << outPath
+                  << "\n";
+    }
+    return rc;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    std::string outPath = "BENCH_6.json";
+    bool sample = false;
+    std::string outPath;
     double floorRefs = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
+        } else if (std::strcmp(argv[i], "--sample") == 0) {
+            sample = true;
         } else if (std::strcmp(argv[i], "--out") == 0 &&
                    i + 1 < argc) {
             outPath = argv[++i];
@@ -204,11 +386,15 @@ main(int argc, char **argv)
                 return 2;
             }
         } else {
-            std::cerr << "usage: benchspeed [--smoke] [--out FILE] "
-                         "[--floor REFS]\n";
+            std::cerr << "usage: benchspeed [--smoke] [--sample] "
+                         "[--out FILE] [--floor REFS]\n";
             return 2;
         }
     }
+    if (sample)
+        return runSampleBench(smoke, outPath, floorRefs);
+    if (outPath.empty())
+        outPath = "BENCH_6.json";
 
     // Pinned budgets: independent of the GAAS_BENCH_* knobs so the
     // numbers are comparable across runs and machines.
