@@ -1,15 +1,19 @@
 #include "bench_common.hh"
 
 #include <cctype>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <iomanip>
+#include <limits>
+#include <optional>
 #include <iostream>
 #include <sstream>
 
 #include "core/journal.hh"
 #include "core/stats_dump.hh"
 #include "obs/json.hh"
+#include "proc/executor.hh"
 #include "util/env.hh"
 #include "util/fault.hh"
 #include "util/file_io.hh"
@@ -28,6 +32,10 @@ struct Options
     bool sample = false;
     std::string statsJsonDir;
     std::string resumeDir;
+
+    /** --mproc N given (overrides GAAS_BENCH_MPROC). */
+    bool mprocSet = false;
+    unsigned mproc = 0;
 
     /** statsJsonDir failed its init() probe: dumps are off and Ok
      *  points are downgraded to Degraded. */
@@ -58,7 +66,7 @@ usage(const char *prog, int exit_code)
     (exit_code == 0 ? std::cout : std::cerr)
         << "usage: " << prog
         << " [--progress] [--stats-json DIR] [--resume DIR]"
-        << " [--sample]\n"
+        << " [--sample] [--mproc N]\n"
         << "  --progress        stderr line per finished point\n"
         << "  --stats-json DIR  one JSON stats dump per point\n"
         << "  --resume DIR      journal points into DIR and skip\n"
@@ -66,7 +74,12 @@ usage(const char *prog, int exit_code)
         << "  --sample          sampled simulation: each point\n"
         << "                    measures systematic intervals and\n"
         << "                    reports CPI with a 95% confidence\n"
-        << "                    interval (GAAS_BENCH_SAMPLE_* knobs)\n";
+        << "                    interval (GAAS_BENCH_SAMPLE_* knobs)\n"
+        << "  --mproc N         run sweeps across N forked worker\n"
+        << "                    processes instead of threads: a\n"
+        << "                    crashed or hung worker costs one\n"
+        << "                    requeue, not the run (0 disables;\n"
+        << "                    GAAS_MPROC_* supervision knobs)\n";
     std::exit(exit_code);
 }
 
@@ -119,6 +132,19 @@ validateStatsDir()
          "; simulation continues, points will be marked degraded");
 }
 
+/**
+ * SIGTERM/SIGINT: request a graceful drain.  The handler body is a
+ * lone lock-free atomic store (async-signal-safe); the sweep engine
+ * fails not-yet-started points with the stable `cancelled` code,
+ * lets in-flight ones finish and journal, and the figure still
+ * emits its (partial) CSVs before main() returns exitCode() == 3.
+ */
+extern "C" void
+cancelSignalHandler(int)
+{
+    core::requestSweepCancel();
+}
+
 } // namespace
 
 void
@@ -147,13 +173,37 @@ init(int argc, char **argv)
                 usage(prog, 2);
             }
             options.resumeDir = argv[++i];
+        } else if (arg == "--mproc") {
+            if (i + 1 >= argc) {
+                std::cerr << prog
+                          << ": --mproc needs a worker count\n";
+                usage(prog, 2);
+            }
+            const std::optional<std::uint64_t> parsed =
+                parseU64(argv[++i]);
+            if (!parsed ||
+                *parsed > std::numeric_limits<unsigned>::max()) {
+                std::cerr << prog << ": --mproc: '" << argv[i]
+                          << "' is not a valid worker count\n";
+                usage(prog, 2);
+            }
+            options.mprocSet = true;
+            options.mproc = static_cast<unsigned>(*parsed);
         } else {
             std::cerr << prog << ": unknown argument '" << arg
                       << "'\n";
             usage(prog, 2);
         }
     }
+    std::signal(SIGTERM, cancelSignalHandler);
+    std::signal(SIGINT, cancelSignalHandler);
     validateStatsDir();
+}
+
+unsigned
+mprocWorkerCount()
+{
+    return options.mprocSet ? options.mproc : proc::mprocWorkers();
 }
 
 bool
@@ -219,6 +269,8 @@ samplingPlan()
 int
 exitCode()
 {
+    if (core::sweepCancelRequested())
+        return 3; // graceful SIGTERM/SIGINT drain
     return failedPoints > 0 ? 1 : 0;
 }
 
@@ -455,6 +507,14 @@ dumpSweepStats(const core::SweepStats &stats)
     doc.members.emplace_back(
         "reused_points",
         num(static_cast<double>(stats.reusedPoints)));
+    doc.members.emplace_back("mproc",
+                             num(stats.mproc ? 1.0 : 0.0));
+    doc.members.emplace_back(
+        "worker_respawns",
+        num(static_cast<double>(stats.workerRespawns)));
+    doc.members.emplace_back(
+        "requeued_jobs",
+        num(static_cast<double>(stats.requeuedJobs)));
 
     obs::JsonValue arena = obs::JsonValue::object();
     arena.members.emplace_back(
@@ -494,7 +554,20 @@ Sweep::run()
         std::error_code ec;
         std::filesystem::create_directories(dir, ec);
         std::string error;
-        if (journal.open(dir + "/sweep_journal.jsonl", &error)) {
+        bool opened = false;
+        try {
+            opened = journal.open(dir + "/sweep_journal.jsonl",
+                                  &error);
+        } catch (const SimError &e) {
+            // Another live process holds this resume directory
+            // (flock).  Two writers would interleave journal
+            // records; refuse loudly with a distinct exit code
+            // instead of corrupting a resumable run.
+            warn("resume refused [", errorCodeName(e.code()),
+                 "]: ", firstLine(e.what()));
+            std::exit(4);
+        }
+        if (opened) {
             journal_ptr = &journal;
             if (journal.loadedRecords() > 0) {
                 std::cout << "[resume: " << journal.loadedRecords()
@@ -507,21 +580,37 @@ Sweep::run()
     }
 
     core::SweepStats stats;
-    auto outcomes = core::runSweepOutcomes(
-        jobs, 0, &stats,
+    const core::SweepProgress note =
         [](std::size_t, core::SweepOutcome &outcome) {
             notePoint(outcome);
-        },
-        journal_ptr);
+        };
+    const unsigned mproc = mprocWorkerCount();
+    std::vector<core::SweepOutcome> outcomes;
+    if (mproc > 0) {
+        proc::MprocOptions opts = proc::MprocOptions::fromEnv();
+        opts.workers = mproc;
+        outcomes = proc::runSweepMproc(jobs, opts, &stats, note,
+                                       journal_ptr);
+    } else {
+        outcomes = core::runSweepOutcomes(jobs, 0, &stats, note,
+                                          journal_ptr);
+    }
     jobs.clear();
     std::cout << "[sweep: " << stats.jobs << " configs on "
-              << stats.workers << " worker(s), " << std::fixed
+              << stats.workers
+              << (stats.mproc ? " worker process(es), "
+                              : " worker(s), ")
+              << std::fixed
               << std::setprecision(2) << stats.wallSeconds
               << " s wall, " << std::setprecision(0)
               << stats.refsPerSecond() << " refs/s aggregate; "
               << stats.okPoints << " ok, " << stats.failedPoints
               << " failed, " << stats.degradedPoints
               << " degraded, " << stats.reusedPoints << " reused";
+    if (stats.mproc) {
+        std::cout << "; " << stats.workerRespawns << " respawn(s), "
+                  << stats.requeuedJobs << " requeue(s)";
+    }
     if (stats.arenaStreamsGenerated + stats.arenaStreamsReused > 0) {
         std::cout << "; arena " << stats.arenaStreamsGenerated
                   << " gen / " << stats.arenaStreamsReused

@@ -12,6 +12,15 @@
  *   GAAS_BENCH_MP            multiprogramming level (default 8)
  *   GAAS_BENCH_JOBS          sweep worker threads (default
  *                            hardware_concurrency)
+ *   GAAS_BENCH_MPROC         run sweeps across N forked worker
+ *                            *processes* (0/unset: threads); a
+ *                            worker crash or hang is requeued, not
+ *                            fatal (same as --mproc N; supervision
+ *                            knobs GAAS_MPROC_RETRIES,
+ *                            GAAS_MPROC_HEARTBEAT_MS,
+ *                            GAAS_MPROC_HEARTBEAT_MISS,
+ *                            GAAS_MPROC_BACKOFF_MS -- see
+ *                            proc/executor.hh)
  *   GAAS_BENCH_CSV_DIR       where CSVs are written
  *                            (default ./bench_out)
  *   GAAS_BENCH_PROGRESS      any value but "0": stderr progress line
@@ -48,7 +57,12 @@
  * Failure model: a sweep point that throws becomes a Failed
  * SweepOutcome; the figure keeps running, renders the point as
  * `failed:<code>` (see cell()), and main() reports it through
- * exitCode() -- nonzero only after the whole ladder drained.
+ * exitCode() -- nonzero only after the whole ladder drained.  Under
+ * --mproc even a worker-process crash or hang only costs a requeue
+ * (proc/executor.hh).  SIGTERM/SIGINT request a graceful drain:
+ * in-flight points finish and journal, queued ones fail with the
+ * stable `cancelled` code, the partial CSVs are still written
+ * atomically, and exitCode() becomes 3.
  */
 
 #ifndef GAAS_BENCH_COMMON_HH
@@ -78,6 +92,8 @@ namespace gaas::bench
  *                      instead of full-detail runs (see
  *                      core/sampling.hh; knobs via
  *                      GAAS_BENCH_SAMPLE_*)
+ *   --mproc N          run sweeps across N forked worker processes
+ *                      (overrides GAAS_BENCH_MPROC; 0 = threads)
  *   --help             print usage and exit 0
  *
  * Anything else prints usage to stderr and exits 2.  Call first in
@@ -113,8 +129,15 @@ Cycles watchdogBudget();
 core::SamplingConfig samplingPlan();
 
 /**
- * Process exit status for main(): 1 if any point Failed (or a fatal
- * setup error was noted), else 0.  Reading it does not reset it.
+ * Worker-process count for sweeps: --mproc if given, else
+ * GAAS_BENCH_MPROC; 0 = in-process threads.
+ */
+unsigned mprocWorkerCount();
+
+/**
+ * Process exit status for main(): 3 after a SIGTERM/SIGINT drain,
+ * else 1 if any point Failed (or a fatal setup error was noted),
+ * else 0.  Reading it does not reset it.
  */
 int exitCode();
 
@@ -197,7 +220,10 @@ class Sweep
     std::size_t size() const { return jobs.size(); }
 
     /**
-     * Run every enqueued job across GAAS_BENCH_JOBS workers, print a
+     * Run every enqueued job across GAAS_BENCH_JOBS workers -- or,
+     * when mprocWorkerCount() > 0, across that many forked worker
+     * processes (proc::runSweepMproc: bit-identical results, but a
+     * worker crash or hang is requeued instead of fatal) -- print a
      * one-line wall-clock/throughput summary (with ok/failed/
      * degraded/reused disposition counts), and return the outcomes
      * in enqueue order.  A throwing job becomes a Failed outcome;

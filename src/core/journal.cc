@@ -1,5 +1,6 @@
 #include "journal.hh"
 
+#include <cerrno>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
@@ -8,6 +9,7 @@
 #if defined(_WIN32)
 #include <io.h>
 #else
+#include <sys/file.h>
 #include <unistd.h>
 #endif
 
@@ -202,6 +204,31 @@ RunJournal::open(const std::string &path, std::string *error)
             *error = "cannot open journal " + path + " for append";
         return false;
     }
+
+#if !defined(_WIN32)
+    // Exclusive advisory lock for the life of the journal: two
+    // concurrent `--resume DIR` runs would interleave appends (and
+    // race the record map), so the second opener must fail hard --
+    // not silently corrupt the first run's checkpoint stream.  The
+    // lock dies with the process (including SIGKILL), so a crashed
+    // holder never wedges later resumes.
+    while (::flock(::fileno(file), LOCK_EX | LOCK_NB) != 0) {
+        if (errno == EINTR)
+            continue;
+        const bool held = errno == EWOULDBLOCK || errno == EAGAIN;
+        std::fclose(file);
+        file = nullptr;
+        if (held) {
+            gaas_error(ErrorCode::Locked, "resume journal ", path,
+                       " is locked by another live process; "
+                       "concurrent --resume runs on one directory "
+                       "would interleave appends");
+        }
+        if (error)
+            *error = "cannot lock journal " + path;
+        return false;
+    }
+#endif
     return true;
 }
 

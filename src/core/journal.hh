@@ -71,11 +71,16 @@ class RunJournal
 
     /**
      * Load existing records from @p path (absent file = empty
-     * journal) and open it for appending.
+     * journal), open it for appending and take an exclusive
+     * advisory lock (flock) on it for the journal's lifetime.
      *
      * @return false (with @p error set) if the file cannot be
      *         decoded or opened; the caller typically warns and
      *         sweeps without resume
+     * @throws SimError(ErrorCode::Locked) if another live process
+     *         holds the journal -- concurrent `--resume DIR` runs
+     *         on the same directory would interleave appends, so
+     *         the second opener must fail, not degrade
      */
     bool open(const std::string &path, std::string *error = nullptr);
 

@@ -1,5 +1,6 @@
 #include "sweep.hh"
 
+#include <atomic>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -122,12 +123,45 @@ runSweepJob(const SweepJob &job, SweepJobStats *stats)
 namespace
 {
 
-/**
- * runSweepJob with the fault fence around it: any throw becomes a
- * Failed outcome (code + message) instead of escaping into the pool.
- */
+/** Cooperative cancel flag; see sweep.hh.  Written from signal
+ *  handlers, so it must stay a lone lock-free atomic store. */
+std::atomic<bool> cancel_requested{false};
+
+} // namespace
+
+void
+requestSweepCancel()
+{
+    cancel_requested.store(true, std::memory_order_relaxed);
+}
+
+void
+clearSweepCancel()
+{
+    cancel_requested.store(false, std::memory_order_relaxed);
+}
+
+bool
+sweepCancelRequested()
+{
+    return cancel_requested.load(std::memory_order_relaxed);
+}
+
 SweepOutcome
-runJobIsolated(const SweepJob &job, SweepJobStats *stats)
+cancelledOutcome(const SweepJob &job)
+{
+    SweepOutcome out;
+    out.status = PointStatus::Failed;
+    out.errorCode = ErrorCode::Cancelled;
+    out.error = "sweep cancelled before this point started (config '" +
+                job.config.name + "')";
+    out.result = SimResult{};
+    out.result.configName = job.config.name;
+    return out;
+}
+
+SweepOutcome
+runSweepJobIsolated(const SweepJob &job, SweepJobStats *stats)
 {
     SweepOutcome out;
     try {
@@ -152,8 +186,6 @@ runJobIsolated(const SweepJob &job, SweepJobStats *stats)
     }
     return out;
 }
-
-} // namespace
 
 std::vector<SweepOutcome>
 runSweepOutcomes(const std::vector<SweepJob> &jobs, unsigned workers,
@@ -202,7 +234,10 @@ runSweepOutcomes(const std::vector<SweepJob> &jobs, unsigned workers,
         out.stats = job_stats[i];
         if (progress)
             progress(i, out);
-        if (journal && !out.reused && !keys[i].empty()) {
+        // Cancelled points are never journaled: they carry no
+        // result, and a resumed run must re-simulate them.
+        if (journal && !out.reused && !keys[i].empty() &&
+            out.errorCode != ErrorCode::Cancelled) {
             JournalRecord rec;
             rec.status = out.status;
             rec.result = out.result;
@@ -220,9 +255,11 @@ runSweepOutcomes(const std::vector<SweepJob> &jobs, unsigned workers,
     if (workers <= 1 || to_run <= 1) {
         // Serial reference path: also the pooled path's ground truth.
         for (std::size_t i = 0; i < n; ++i) {
-            outcomes[i] = reuse[i]
-                              ? reusedOutcome(i)
-                              : runJobIsolated(jobs[i], &job_stats[i]);
+            outcomes[i] =
+                reuse[i] ? reusedOutcome(i)
+                : sweepCancelRequested()
+                    ? cancelledOutcome(jobs[i])
+                    : runSweepJobIsolated(jobs[i], &job_stats[i]);
             finalize(i, outcomes[i]);
         }
     } else {
@@ -251,7 +288,11 @@ runSweepOutcomes(const std::vector<SweepJob> &jobs, unsigned workers,
                                      worker_ids.size())
                             .first->second);
                 }
-                return runJobIsolated(job, &slot);
+                // A cancel drains the queue: jobs already running
+                // finish, queued ones return immediately.
+                if (sweepCancelRequested())
+                    return cancelledOutcome(job);
+                return runSweepJobIsolated(job, &slot);
             }));
         }
         // Futures are held in submission order, so gathering them in
@@ -269,6 +310,9 @@ runSweepOutcomes(const std::vector<SweepJob> &jobs, unsigned workers,
         stats->jobs = n;
         stats->workers = workers;
         stats->wallSeconds = wall.seconds();
+        stats->mproc = false;
+        stats->workerRespawns = 0;
+        stats->requeuedJobs = 0;
         stats->references = 0;
         stats->okPoints = 0;
         stats->failedPoints = 0;

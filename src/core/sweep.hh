@@ -101,9 +101,14 @@ struct SweepJobStats
     /** End-to-end on the worker (build + sim + result handoff). */
     double totalSeconds = 0.0;
 
-    /** Which pool worker ran the job (0 on the serial path).
-     *  Worker indices are dense, assigned in first-job order. */
+    /** Which pool worker (or worker-process slot) ran the job (0 on
+     *  the serial path).  Worker indices are dense, assigned in
+     *  first-job order. */
     unsigned worker = 0;
+
+    /** Times the job was requeued after a worker-process death
+     *  before this (successful) run -- always 0 in-process. */
+    unsigned requeues = 0;
 
     /** @name Trace-arena activity attributed to this job
      *  Streams this job materialized first vs. found already cached,
@@ -151,6 +156,17 @@ struct SweepStats
     std::size_t jobs = 0;
     unsigned workers = 0;
     double wallSeconds = 0.0;
+
+    /** @name Multi-process executor telemetry (proc/executor.hh)
+     *  All zero when the sweep ran in-process.  `workerRespawns`
+     *  counts replacement worker processes forked after a death;
+     *  `requeuedJobs` counts job redispatches after a worker was
+     *  lost mid-job (one job killed twice counts twice). */
+    ///@{
+    bool mproc = false;
+    std::uint64_t workerRespawns = 0;
+    std::uint64_t requeuedJobs = 0;
+    ///@}
 
     /** Sum of SimResult::references() over the whole sweep. */
     Count references = 0;
@@ -215,6 +231,34 @@ unsigned sweepWorkers();
  */
 SimResult runSweepJob(const SweepJob &job,
                       SweepJobStats *stats = nullptr);
+
+/**
+ * runSweepJob with the fault fence around it: any throw becomes a
+ * Failed outcome (code + message) instead of escaping.  This is the
+ * unit of work both the in-process pool and the multi-process
+ * worker children (proc/executor.hh) execute.
+ */
+SweepOutcome runSweepJobIsolated(const SweepJob &job,
+                                 SweepJobStats *stats = nullptr);
+
+/**
+ * @name Cooperative sweep cancellation
+ *
+ * requestSweepCancel() is async-signal-safe (a single relaxed
+ * atomic store): the bench harness calls it from its SIGTERM/SIGINT
+ * handlers.  Once set, every sweep executor -- serial, pooled and
+ * multi-process -- stops *starting* jobs: in-flight simulations
+ * drain normally, and each not-yet-started point becomes a Failed
+ * outcome with ErrorCode::Cancelled (never journaled, so a resumed
+ * run re-simulates it).  clearSweepCancel() re-arms; tests use it.
+ */
+///@{
+void requestSweepCancel();
+void clearSweepCancel();
+bool sweepCancelRequested();
+/** The Failed/Cancelled outcome a drained job reports. */
+SweepOutcome cancelledOutcome(const SweepJob &job);
+///@}
 
 /**
  * Run @p jobs across @p workers threads (0 = sweepWorkers()) with

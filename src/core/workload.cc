@@ -1,6 +1,7 @@
 #include "workload.hh"
 
 #include <string>
+#include <thread>
 
 #include "synth/benchmark.hh"
 #include "trace/arena.hh"
@@ -90,6 +91,38 @@ Workload::standard(unsigned mp_level, Count instr_hint)
                spec.baseCpi, spec.name);
     }
     return wl;
+}
+
+void
+Workload::prewarmStandardStreams(unsigned mp_level,
+                                 Count instr_hint)
+{
+    if (!trace::TraceArena::enabledByEnv() || instr_hint == 0)
+        return;
+    const std::vector<synth::BenchmarkSpec> specs =
+        synth::workloadSpecs(mp_level);
+    auto &arena = trace::TraceArena::global();
+    std::vector<std::thread> generators;
+    generators.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        // Same key/bound/hint derivation as standard() above, so the
+        // prewarmed entries are exactly the ones jobs will acquire.
+        const synth::BenchmarkSpec &spec = specs[i];
+        const std::string key = synth::specDigest(spec) + ":" +
+                                std::to_string(mp_level) + ":" +
+                                std::to_string(i);
+        const std::size_t bound =
+            2 * static_cast<std::size_t>(spec.simInstructions);
+        const std::size_t want = refHint(specs, i, instr_hint);
+        generators.emplace_back([&arena, key, bound, want, spec] {
+            arena
+                .acquire(key, bound, 0,
+                         [spec] { return synth::makeBenchmark(spec); })
+                ->ensure(want);
+        });
+    }
+    for (auto &t : generators)
+        t.join();
 }
 
 void

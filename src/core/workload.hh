@@ -70,6 +70,18 @@ class Workload
     static Workload standard(unsigned mp_level = 8,
                              Count instr_hint = 0);
 
+    /**
+     * Materialize the arena streams standard(@p mp_level, ...)
+     * would replay, through @p instr_hint total instructions, one
+     * generator thread per stream -- all joined before returning,
+     * so the caller may fork() immediately afterwards (the
+     * multi-process sweep executor prewarms here so its workers
+     * inherit the streams copy-on-write instead of regenerating
+     * them per process).  A no-op when the arena is disabled.
+     */
+    static void prewarmStandardStreams(unsigned mp_level,
+                                       Count instr_hint);
+
     /** Add one process (PID = current process count). */
     void add(std::unique_ptr<trace::TraceSource> source,
              double base_cpi, const std::string &name);

@@ -1,0 +1,288 @@
+#include "protocol.hh"
+
+#include <charconv>
+#include <cstring>
+
+#include "core/result_io.hh"
+#include "obs/json.hh"
+#include "util/error.hh"
+
+namespace gaas::proc
+{
+
+namespace
+{
+
+/** Sanity cap on one frame: a result JSON is a few KiB; anything
+ *  past this is a corrupt length prefix, not a real frame. */
+constexpr std::size_t kMaxFramePayload = 16u * 1024 * 1024;
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+getU32(std::string_view in, std::size_t at)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(in[at + i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(std::string_view in, std::size_t at)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(in[at + i]))
+             << (8 * i);
+    return v;
+}
+
+[[noreturn]] void
+badFrame(const char *what)
+{
+    gaas_error(ErrorCode::Internal,
+               "mproc protocol: malformed frame (", what, ")");
+}
+
+obs::JsonValue
+num(double v)
+{
+    return obs::JsonValue::number(v);
+}
+
+double
+memberDouble(const obs::JsonValue &v, const char *name)
+{
+    const obs::JsonValue *m = v.member(name);
+    if (!m)
+        badFrame(name);
+    if (m->type == obs::JsonValue::Type::Null)
+        return 0.0; // non-finite host timing -> null; placeholder ok
+    if (m->type != obs::JsonValue::Type::Number)
+        badFrame(name);
+    double out = 0.0;
+    const char *first = m->scalar.data();
+    const char *last = first + m->scalar.size();
+    const auto res = std::from_chars(first, last, out);
+    if (res.ec != std::errc{} || res.ptr != last)
+        badFrame(name);
+    return out;
+}
+
+std::uint64_t
+memberU64(const obs::JsonValue &v, const char *name)
+{
+    const obs::JsonValue *m = v.member(name);
+    if (!m || m->type != obs::JsonValue::Type::Number)
+        badFrame(name);
+    std::uint64_t out = 0;
+    const char *first = m->scalar.data();
+    const char *last = first + m->scalar.size();
+    const auto res = std::from_chars(first, last, out);
+    if (res.ec != std::errc{} || res.ptr != last)
+        badFrame(name);
+    return out;
+}
+
+} // namespace
+
+std::string
+encodeJobRequest(std::uint64_t job, std::uint32_t flags)
+{
+    std::string out;
+    out.reserve(1 + 4 + 8);
+    out.push_back(static_cast<char>(FrameType::Job));
+    putU32(out, flags);
+    putU64(out, job);
+    return out;
+}
+
+std::string
+encodeShutdown()
+{
+    return std::string(1, static_cast<char>(FrameType::Shutdown));
+}
+
+std::string
+encodeHeartbeat()
+{
+    return std::string(1, static_cast<char>(FrameType::Heartbeat));
+}
+
+std::string
+encodeResult(std::uint64_t job, const core::SweepOutcome &outcome)
+{
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.members.emplace_back(
+        "status", obs::JsonValue::string(
+                      core::pointStatusName(outcome.status)));
+    if (outcome.status == core::PointStatus::Failed) {
+        doc.members.emplace_back(
+            "code", obs::JsonValue::string(
+                        errorCodeName(outcome.errorCode)));
+        doc.members.emplace_back(
+            "error", obs::JsonValue::string(outcome.error));
+        // The zeroed result still names its configuration; the
+        // figure CSVs print it next to the failed cell.
+        doc.members.emplace_back(
+            "config",
+            obs::JsonValue::string(outcome.result.configName));
+    } else {
+        doc.members.emplace_back(
+            "result", core::resultToJson(outcome.result));
+    }
+
+    obs::JsonValue st = obs::JsonValue::object();
+    st.members.emplace_back("build_seconds",
+                            num(outcome.stats.buildSeconds));
+    st.members.emplace_back("sim_seconds",
+                            num(outcome.stats.simSeconds));
+    st.members.emplace_back("total_seconds",
+                            num(outcome.stats.totalSeconds));
+    st.members.emplace_back(
+        "arena_streams_generated",
+        obs::JsonValue::number(
+            Count(outcome.stats.arenaStreamsGenerated)));
+    st.members.emplace_back(
+        "arena_streams_reused",
+        obs::JsonValue::number(
+            Count(outcome.stats.arenaStreamsReused)));
+    st.members.emplace_back(
+        "arena_refs_generated",
+        obs::JsonValue::number(
+            Count(outcome.stats.arenaRefsGenerated)));
+    st.members.emplace_back("arena_gen_seconds",
+                            num(outcome.stats.arenaGenSeconds));
+    doc.members.emplace_back("stats", std::move(st));
+
+    std::string out;
+    out.push_back(static_cast<char>(FrameType::Result));
+    putU64(out, job);
+    out += obs::writeJsonCompact(doc);
+    return out;
+}
+
+Request
+decodeRequest(std::string_view payload)
+{
+    if (payload.empty())
+        badFrame("empty request");
+    Request req;
+    switch (static_cast<FrameType>(
+        static_cast<unsigned char>(payload[0]))) {
+      case FrameType::Shutdown:
+        req.type = FrameType::Shutdown;
+        return req;
+      case FrameType::Job:
+        if (payload.size() != 1 + 4 + 8)
+            badFrame("short job request");
+        req.type = FrameType::Job;
+        req.flags = getU32(payload, 1);
+        req.job = getU64(payload, 5);
+        return req;
+      default:
+        badFrame("unknown request type");
+    }
+}
+
+FrameType
+decodeResponse(std::string_view payload, std::uint64_t &job,
+               core::SweepOutcome &outcome)
+{
+    if (payload.empty())
+        badFrame("empty response");
+    const auto type = static_cast<FrameType>(
+        static_cast<unsigned char>(payload[0]));
+    if (type == FrameType::Heartbeat)
+        return type;
+    if (type != FrameType::Result)
+        badFrame("unknown response type");
+    if (payload.size() < 1 + 8)
+        badFrame("short result frame");
+    job = getU64(payload, 1);
+
+    const obs::JsonValue doc =
+        obs::parseJson(payload.substr(1 + 8));
+    const obs::JsonValue *status = doc.member("status");
+    if (!status || status->type != obs::JsonValue::Type::String)
+        badFrame("status");
+    outcome = core::SweepOutcome{};
+    if (!core::parsePointStatus(status->scalar, outcome.status))
+        badFrame("status name");
+    if (outcome.status == core::PointStatus::Failed) {
+        const obs::JsonValue *code = doc.member("code");
+        if (!code || code->type != obs::JsonValue::Type::String ||
+            !parseErrorCode(code->scalar, outcome.errorCode))
+            badFrame("code");
+        if (const obs::JsonValue *err = doc.member("error"))
+            outcome.error = err->scalar;
+        if (const obs::JsonValue *cfg = doc.member("config"))
+            outcome.result.configName = cfg->scalar;
+    } else {
+        const obs::JsonValue *result = doc.member("result");
+        if (!result)
+            badFrame("result");
+        outcome.result = core::resultFromJson(*result);
+    }
+
+    const obs::JsonValue *st = doc.member("stats");
+    if (!st || st->type != obs::JsonValue::Type::Object)
+        badFrame("stats");
+    outcome.stats.buildSeconds = memberDouble(*st, "build_seconds");
+    outcome.stats.simSeconds = memberDouble(*st, "sim_seconds");
+    outcome.stats.totalSeconds = memberDouble(*st, "total_seconds");
+    outcome.stats.arenaStreamsGenerated =
+        memberU64(*st, "arena_streams_generated");
+    outcome.stats.arenaStreamsReused =
+        memberU64(*st, "arena_streams_reused");
+    outcome.stats.arenaRefsGenerated =
+        memberU64(*st, "arena_refs_generated");
+    outcome.stats.arenaGenSeconds =
+        memberDouble(*st, "arena_gen_seconds");
+    return type;
+}
+
+void
+FrameSplitter::feed(const char *data, std::size_t size)
+{
+    // Compact once the consumed prefix dominates; keeps the buffer
+    // O(one frame) over a long sweep.
+    if (used > 0 && used >= buffer.size() / 2) {
+        buffer.erase(0, used);
+        used = 0;
+    }
+    buffer.append(data, size);
+}
+
+bool
+FrameSplitter::next(std::string &payload)
+{
+    if (buffer.size() - used < 4)
+        return false;
+    const std::size_t len = getU32(buffer, used);
+    if (len > kMaxFramePayload)
+        badFrame("oversized length prefix");
+    if (buffer.size() - used < 4 + len)
+        return false;
+    payload.assign(buffer, used + 4, len);
+    used += 4 + len;
+    return true;
+}
+
+} // namespace gaas::proc

@@ -19,6 +19,12 @@ errorCodeName(ErrorCode code)
         return "watchdog";
       case ErrorCode::Internal:
         return "internal";
+      case ErrorCode::WorkerLost:
+        return "worker-lost";
+      case ErrorCode::Cancelled:
+        return "cancelled";
+      case ErrorCode::Locked:
+        return "locked";
     }
     return "internal";
 }
@@ -28,7 +34,9 @@ parseErrorCode(const std::string &name, ErrorCode &out)
 {
     for (ErrorCode code :
          {ErrorCode::Config, ErrorCode::TraceIO, ErrorCode::StatsIO,
-          ErrorCode::Watchdog, ErrorCode::Internal}) {
+          ErrorCode::Watchdog, ErrorCode::Internal,
+          ErrorCode::WorkerLost, ErrorCode::Cancelled,
+          ErrorCode::Locked}) {
         if (name == errorCodeName(code)) {
             out = code;
             return true;

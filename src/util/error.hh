@@ -34,6 +34,21 @@ enum class ErrorCode
     StatsIO,  //!< stats/CSV/journal persistence ("stats-io")
     Watchdog, //!< zero-progress cycle budget exceeded ("watchdog")
     Internal, //!< unclassified or invariant failure ("internal")
+
+    /** A multi-process sweep worker died (signal, crash, hang
+     *  SIGKILLed by the supervisor) more times than the requeue
+     *  budget allows; the point degrades to `failed:worker-lost`
+     *  instead of aborting the ladder ("worker-lost"). */
+    WorkerLost,
+
+    /** The point was cancelled before it ran -- a SIGTERM/SIGINT
+     *  drain marks every not-yet-started job with this code
+     *  ("cancelled"). */
+    Cancelled,
+
+    /** A resource (the resume journal) is exclusively held by
+     *  another live process ("locked"). */
+    Locked,
 };
 
 /** The stable wire name of @p code (e.g. "trace-io"). */

@@ -26,6 +26,15 @@
  *   sweep-job    runSweepJob -- the whole simulation job throws
  *   bench-kill   bench notePoint -- hard process exit (std::_Exit),
  *                simulating a mid-run kill for resume tests
+ *   worker-kill  multi-process sweep dispatch (proc/executor) -- the
+ *                worker the job is sent to raises SIGKILL mid-job.
+ *                Counted on the *supervisor* side, one hit per job
+ *                dispatch (requeues count again), so `worker-kill:N`
+ *                deterministically kills the Nth dispatch no matter
+ *                which worker process receives it.
+ *   worker-hang  like worker-kill, but the worker stops heartbeating
+ *                and sleeps forever -- the supervisor must detect
+ *                the missed heartbeats, SIGKILL it and requeue.
  */
 
 #ifndef GAAS_UTIL_FAULT_HH

@@ -174,6 +174,33 @@ TEST(Journal, AppendLoadRoundTrip)
     EXPECT_EQ(j.find("cccc"), nullptr);
 }
 
+TEST(Journal, SecondLiveOpenOfTheSameJournalIsRefused)
+{
+    const std::string dir = scratchDir("flock");
+    const std::string path = dir + "/j.jsonl";
+
+    RunJournal holder;
+    ASSERT_TRUE(holder.open(path));
+
+    // flock is per open-file-description, so a second RunJournal in
+    // the same process conflicts exactly like a second process
+    // racing for the same resume directory would.
+    RunJournal intruder;
+    try {
+        intruder.open(path);
+        FAIL() << "second open of a locked journal must throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Locked);
+    }
+
+    // The holder's lock dies with its file handle; reopening then
+    // works and sees the (empty) journal.
+    holder.close();
+    RunJournal successor;
+    std::string error;
+    EXPECT_TRUE(successor.open(path, &error)) << error;
+}
+
 TEST(Journal, TornTrailingLineIsTolerated)
 {
     const std::string dir = scratchDir("torn");

@@ -33,7 +33,18 @@
  * wall-clock/speedup comparison goes to `BENCH_7.json` -- the
  * sampled ladder's refs/s recorded next to the full-detail floor.
  *
- * Usage: benchspeed [--smoke] [--sample] [--out FILE] [--floor REFS]
+ * `--mproc` benchmarks the multi-process sweep executor instead:
+ * the same ladder runs once on the in-process thread pool and once
+ * across forked worker processes (proc/executor.hh, same worker
+ * count), every point's stats dump is byte-compared across the two
+ * (the executor's bit-identity contract), and the wall-clock
+ * comparison -- worker count, respawns, requeues, and the process
+ * mode's overhead percentage -- goes to `BENCH_8.json`.
+ * `--overhead PCT` makes that overhead a hard assertion, the
+ * perfsmoke guard that cross-process sharding stays cheap.
+ *
+ * Usage: benchspeed [--smoke] [--sample | --mproc] [--out FILE]
+ *                   [--floor REFS] [--overhead PCT]
  */
 
 #include <array>
@@ -51,6 +62,7 @@
 #include "core/sweep.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
+#include "proc/executor.hh"
 #include "trace/arena.hh"
 #include "util/file_io.hh"
 
@@ -130,7 +142,8 @@ struct ModeRun
 };
 
 ModeRun
-runMode(const std::vector<core::SweepJob> &jobs, bool arena_on)
+runMode(const std::vector<core::SweepJob> &jobs, bool arena_on,
+        unsigned mproc_workers = 0)
 {
     if (arena_on)
         ::unsetenv("GAAS_BENCH_ARENA");
@@ -138,8 +151,14 @@ runMode(const std::vector<core::SweepJob> &jobs, bool arena_on)
         ::setenv("GAAS_BENCH_ARENA", "0", 1);
 
     ModeRun run;
-    const auto outcomes =
-        core::runSweepOutcomes(jobs, 0, &run.stats);
+    std::vector<core::SweepOutcome> outcomes;
+    if (mproc_workers > 0) {
+        proc::MprocOptions opts;
+        opts.workers = mproc_workers;
+        outcomes = proc::runSweepMproc(jobs, opts, &run.stats);
+    } else {
+        outcomes = core::runSweepOutcomes(jobs, 0, &run.stats);
+    }
     run.wallSeconds = run.stats.wallSeconds;
     run.refsPerSecond = run.stats.refsPerSecond();
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
@@ -357,6 +376,148 @@ runSampleBench(bool smoke, std::string outPath, double floorRefs)
     return rc;
 }
 
+/**
+ * The --mproc benchmark: thread pool vs forked worker processes on
+ * the pinned ladder, byte-identity cross-check, BENCH_8.json.
+ * Returns the process exit code.
+ */
+int
+runMprocBench(bool smoke, std::string outPath, double floorRefs,
+              double maxOverheadPct)
+{
+    if (outPath.empty())
+        outPath = "BENCH_8.json";
+
+    const Count instructions = smoke ? 20'000 : 1'000'000;
+    const Count warmup = smoke ? 5'000 : 500'000;
+    const unsigned mp = smoke ? 4 : 8;
+    const auto jobs = ladder(instructions, warmup, mp);
+    const unsigned workers = core::sweepWorkers();
+
+    std::cout << "benchspeed --mproc: " << jobs.size()
+              << "-point fig6 ladder, " << instructions
+              << " instructions + " << warmup << " warmup, mp "
+              << mp << ", " << workers << " worker(s)\n";
+
+    // An untimed warmup pass materializes every arena stream (and
+    // faults in the code paths), so both timed modes below replay
+    // the same warm streams and the overhead number isolates the
+    // process machinery (fork, pipes, result re-encoding) -- which
+    // is exactly what the overhead assertion is about.
+    (void)runMode(jobs, true);
+    const ModeRun threads = runMode(jobs, true);
+    std::cout << "  threads:   " << threads.wallSeconds
+              << " s wall, " << threads.refsPerSecond
+              << " refs/s\n";
+    const ModeRun procs = runMode(jobs, true, workers);
+    std::cout << "  processes: " << procs.wallSeconds
+              << " s wall, " << procs.refsPerSecond << " refs/s, "
+              << procs.stats.workerRespawns << " respawn(s), "
+              << procs.stats.requeuedJobs << " requeue(s)\n";
+
+    int rc = 0;
+    if (!procs.stats.mproc) {
+        std::cerr << "benchspeed: FAIL: the process run did not use "
+                     "the multi-process executor\n";
+        rc = 1;
+    }
+    if (threads.dumps != procs.dumps) {
+        for (std::size_t i = 0; i < threads.dumps.size(); ++i) {
+            if (threads.dumps[i] != procs.dumps[i])
+                std::cerr << "benchspeed: FAIL: point " << i << " ('"
+                          << jobs[i].config.name
+                          << "') differs between threads and "
+                             "processes\n";
+        }
+        rc = 1;
+    }
+    if (procs.stats.workerRespawns != 0 ||
+        procs.stats.requeuedJobs != 0) {
+        std::cerr << "benchspeed: FAIL: fault-free ladder respawned "
+                  << procs.stats.workerRespawns
+                  << " worker(s) / requeued "
+                  << procs.stats.requeuedJobs << " job(s)\n";
+        rc = 1;
+    }
+    if (floorRefs > 0.0 && procs.refsPerSecond < floorRefs) {
+        std::cerr << "benchspeed: FAIL: process-mode rate "
+                  << procs.refsPerSecond
+                  << " refs/s is below the floor " << floorRefs
+                  << " refs/s\n";
+        rc = 1;
+    }
+
+    const double overheadPct =
+        threads.wallSeconds > 0.0
+            ? (procs.wallSeconds - threads.wallSeconds) /
+                  threads.wallSeconds * 100.0
+            : 0.0;
+    std::cout << "  overhead: " << overheadPct << " %\n";
+    if (maxOverheadPct > 0.0 && overheadPct > maxOverheadPct) {
+        std::cerr << "benchspeed: FAIL: multi-process overhead "
+                  << overheadPct << " % exceeds the "
+                  << maxOverheadPct << " % budget\n";
+        rc = 1;
+    }
+
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.members.emplace_back(
+        "benchmark", obs::JsonValue::string("fig6-ladder-mproc"));
+    doc.members.emplace_back("smoke", num(smoke ? 1 : 0));
+    doc.members.emplace_back(
+        "points", num(static_cast<double>(jobs.size())));
+    doc.members.emplace_back(
+        "instructions_per_point",
+        num(static_cast<double>(instructions)));
+    doc.members.emplace_back(
+        "warmup_per_point", num(static_cast<double>(warmup)));
+    doc.members.emplace_back("mp_level",
+                             num(static_cast<double>(mp)));
+    doc.members.emplace_back("workers",
+                             num(static_cast<double>(workers)));
+    doc.members.emplace_back("max_overhead_pct",
+                             num(maxOverheadPct));
+    doc.members.emplace_back("floor_refs_per_second",
+                             num(floorRefs));
+
+    obs::JsonValue thr = obs::JsonValue::object();
+    thr.members.emplace_back("wall_seconds",
+                             num(threads.wallSeconds));
+    thr.members.emplace_back("refs_per_second",
+                             num(threads.refsPerSecond));
+    doc.members.emplace_back("threads", std::move(thr));
+
+    obs::JsonValue prc = obs::JsonValue::object();
+    prc.members.emplace_back("wall_seconds",
+                             num(procs.wallSeconds));
+    prc.members.emplace_back("refs_per_second",
+                             num(procs.refsPerSecond));
+    prc.members.emplace_back(
+        "worker_processes",
+        num(static_cast<double>(procs.stats.workers)));
+    prc.members.emplace_back(
+        "worker_respawns",
+        num(static_cast<double>(procs.stats.workerRespawns)));
+    prc.members.emplace_back(
+        "requeued_jobs",
+        num(static_cast<double>(procs.stats.requeuedJobs)));
+    doc.members.emplace_back("mproc", std::move(prc));
+
+    doc.members.emplace_back("overhead_pct", num(overheadPct));
+
+    std::string error;
+    if (!util::writeFileAtomicRetry(
+            outPath, obs::writeJsonString(doc) + "\n", &error)) {
+        std::cerr << "benchspeed: cannot write " << outPath << ": "
+                  << error << "\n";
+        rc = 1;
+    } else {
+        std::cout << "  overhead " << overheadPct << " % -> "
+                  << outPath << "\n";
+    }
+    return rc;
+}
+
 } // namespace
 
 int
@@ -364,13 +525,28 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     bool sample = false;
+    bool mproc = false;
     std::string outPath;
     double floorRefs = 0.0;
+    double overheadPct = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
         } else if (std::strcmp(argv[i], "--sample") == 0) {
             sample = true;
+        } else if (std::strcmp(argv[i], "--mproc") == 0) {
+            mproc = true;
+        } else if (std::strcmp(argv[i], "--overhead") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            overheadPct = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' ||
+                overheadPct <= 0.0) {
+                std::cerr << "benchspeed: --overhead needs a "
+                             "positive percentage, got '"
+                          << argv[i] << "'\n";
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--out") == 0 &&
                    i + 1 < argc) {
             outPath = argv[++i];
@@ -386,13 +562,16 @@ main(int argc, char **argv)
                 return 2;
             }
         } else {
-            std::cerr << "usage: benchspeed [--smoke] [--sample] "
-                         "[--out FILE] [--floor REFS]\n";
+            std::cerr << "usage: benchspeed [--smoke] "
+                         "[--sample | --mproc] [--out FILE] "
+                         "[--floor REFS] [--overhead PCT]\n";
             return 2;
         }
     }
     if (sample)
         return runSampleBench(smoke, outPath, floorRefs);
+    if (mproc)
+        return runMprocBench(smoke, outPath, floorRefs, overheadPct);
     if (outPath.empty())
         outPath = "BENCH_6.json";
 
