@@ -21,6 +21,7 @@
 #include "mmu/mmu.hh"
 #include "synth/suite.hh"
 #include "trace/compose.hh"
+#include "trace/v3.hh"
 #include "util/random.hh"
 
 namespace
@@ -192,6 +193,93 @@ BM_TraceGenerationBatched(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TraceGenerationBatched);
+
+/**
+ * One block of synthetic-workload records, the v3 codec's unit of
+ * work.  Generated once per benchmark: the kernels below measure
+ * encode/decode cost alone, not trace generation.
+ */
+std::vector<trace::MemRef>
+v3BenchBlock(std::size_t records)
+{
+    auto spec = synth::defaultSuite()[0];
+    spec.simInstructions = 1ull << 40;
+    auto src = synth::makeBenchmark(spec);
+    std::vector<trace::MemRef> refs(records);
+    src->nextBatch(refs.data(), records);
+    return refs;
+}
+
+void
+BM_V3EncodeBlock(benchmark::State &state)
+{
+    const auto records = static_cast<std::size_t>(state.range(0));
+    const auto refs = v3BenchBlock(records);
+    std::vector<unsigned char> payload(records *
+                                       trace::kV3MaxRecordBytes);
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        bytes = trace::v3::encodeBlock(refs.data(), records,
+                                       payload.data());
+        benchmark::DoNotOptimize(payload.data());
+    }
+    benchmark::DoNotOptimize(bytes);
+    state.counters["refs/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(records),
+        benchmark::Counter::kIsRate);
+    state.counters["B/record"] =
+        static_cast<double>(bytes) / static_cast<double>(records);
+}
+BENCHMARK(BM_V3EncodeBlock)->Arg(1 << 16);
+
+void
+BM_V3DecodeBlock(benchmark::State &state)
+{
+    const auto records = static_cast<std::size_t>(state.range(0));
+    const auto refs = v3BenchBlock(records);
+    std::vector<unsigned char> payload(records *
+                                       trace::kV3MaxRecordBytes);
+    const std::size_t bytes = trace::v3::encodeBlock(
+        refs.data(), records, payload.data());
+    std::vector<trace::MemRef> out(records);
+    const trace::v3::BlockContext ctx{nullptr, 0, 0};
+    for (auto _ : state) {
+        trace::v3::decodeBlock(payload.data(), bytes, records,
+                               out.data(), ctx);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["refs/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(records),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_V3DecodeBlock)->Arg(1 << 16);
+
+void
+BM_V3DecodeBlockPacked(benchmark::State &state)
+{
+    // The streaming hot path: varint straight to packed u32 words,
+    // no 16-byte MemRef round trip.
+    const auto records = static_cast<std::size_t>(state.range(0));
+    const auto refs = v3BenchBlock(records);
+    std::vector<unsigned char> payload(records *
+                                       trace::kV3MaxRecordBytes);
+    const std::size_t bytes = trace::v3::encodeBlock(
+        refs.data(), records, payload.data());
+    std::vector<std::uint32_t> out(records);
+    const trace::v3::BlockContext ctx{nullptr, 0, 0};
+    for (auto _ : state) {
+        trace::v3::decodeBlockPacked(payload.data(), bytes,
+                                     records, out.data(), ctx);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["refs/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(records),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_V3DecodeBlockPacked)->Arg(1 << 16);
 
 void
 simulateConfig(benchmark::State &state,

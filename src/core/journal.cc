@@ -16,9 +16,11 @@
 #include "core/config_io.hh"
 #include "core/result_io.hh"
 #include "obs/json.hh"
+#include "trace/v3.hh"
 #include "util/error.hh"
 #include "util/fault.hh"
 #include "util/file_io.hh"
+#include "util/hash.hh"
 
 namespace gaas::core
 {
@@ -26,39 +28,7 @@ namespace gaas::core
 namespace
 {
 
-/** 64-bit FNV-1a, the streaming flavour. */
-class Fnv1a
-{
-  public:
-    void
-    feed(std::string_view text)
-    {
-        for (const char c : text) {
-            hash ^= static_cast<unsigned char>(c);
-            hash *= 0x100000001b3ull;
-        }
-    }
-
-    void
-    feedNumber(std::uint64_t v)
-    {
-        feed(std::to_string(v));
-        feed("|");
-    }
-
-    std::string
-    hex() const
-    {
-        constexpr char digits[] = "0123456789abcdef";
-        std::string out(16, '0');
-        for (int i = 0; i < 16; ++i)
-            out[i] = digits[(hash >> (60 - 4 * i)) & 0xf];
-        return out;
-    }
-
-  private:
-    std::uint64_t hash = 0xcbf29ce484222325ull;
-};
+using util::Fnv1a;
 
 /** Decode one journal line; throws FatalError on malformed input. */
 JournalRecord
@@ -145,6 +115,27 @@ sweepJobKey(const SweepJob &job)
     digest.feedNumber(job.instructions);
     digest.feedNumber(job.warmup);
     digest.feedNumber(job.watchdogCycles);
+    if (!job.traceFiles.empty()) {
+        // Trace-file jobs key on *content* (the v3 content digest
+        // plus record count), not the path, so a renamed or re-packed
+        // copy of the same trace still resumes.  The streaming flag
+        // deliberately stays out of the key: streamed and in-memory
+        // replay are bit-identical by contract, so either mode may
+        // satisfy the other's journal entry.  An unreadable file
+        // makes the job opaque (never journaled) -- the open error
+        // surfaces when the job actually runs.
+        digest.feed("trace|");
+        for (const std::string &path : job.traceFiles) {
+            trace::V3FileInfo info;
+            try {
+                info = trace::v3FileInfo(path);
+            } catch (const FatalError &) {
+                return "";
+            }
+            digest.feedNumber(info.digest);
+            digest.feedNumber(info.records);
+        }
+    }
     if (job.sampling.enabled) {
         // A sampled point must never satisfy (or be satisfied by) a
         // full-detail key, and every sampling knob changes the

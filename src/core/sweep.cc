@@ -79,6 +79,14 @@ runSweepJob(const SweepJob &job, SweepJobStats *stats)
     // plus any grow-on-demand during the run).
     trace::TraceArena::resetThreadTally();
     SimResult result;
+    if (job.sampling.enabled && !job.traceFiles.empty()) {
+        // The sampling controller builds standard workloads
+        // internally; wiring trace files through it is future work.
+        gaas_error(ErrorCode::Config,
+                   "sampled simulation over trace-file workloads "
+                   "is not supported yet (config '",
+                   job.config.name, "')");
+    }
     if (job.sampling.enabled && !job.workload) {
         // Sampled point: the controller owns workload construction
         // (one per sizing pass), so the whole thing is sim time.
@@ -94,8 +102,10 @@ runSweepJob(const SweepJob &job, SweepJobStats *stats)
         {
             obs::ScopedTimer timer(local.buildSeconds);
             Workload workload =
-                job.workload
-                    ? job.workload()
+                job.workload ? job.workload()
+                : !job.traceFiles.empty()
+                    ? Workload::fromTraceFiles(job.traceFiles,
+                                               job.traceStreaming)
                     : Workload::standard(
                           job.mpLevel,
                           job.warmup + job.instructions);

@@ -61,6 +61,26 @@ struct SweepJob
     SamplingConfig sampling;
 
     /**
+     * Trace-file workload: when non-empty, each named v3 trace file
+     * becomes one process (Workload::fromTraceFiles) instead of the
+     * standard synthetic workload, and mpLevel is ignored.  The
+     * resume journal keys these points on the files' content
+     * digests, so a renamed copy of the same trace still resumes.
+     * Mutually exclusive with sampling (Config error) and
+     * overridden by a custom workload builder.
+     */
+    std::vector<std::string> traceFiles;
+
+    /**
+     * Replay mode for traceFiles: false materializes each trace
+     * in the shared arena (fastest when it fits in RAM), true
+     * streams it under the GAAS_TRACE_STREAM_MB ceiling
+     * (trace/stream.hh).  Both modes are bit-identical, so the
+     * flag is not part of the journal key.
+     */
+    bool traceStreaming = false;
+
+    /**
      * Optional workload builder, called on the worker that runs the
      * job.  When empty the standard looping workload at mpLevel is
      * built.  Tests use this to inject finite (exhaustible) traces.

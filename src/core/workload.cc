@@ -6,6 +6,10 @@
 #include "synth/benchmark.hh"
 #include "trace/arena.hh"
 #include "trace/compose.hh"
+#include "trace/stream.hh"
+#include "trace/v3.hh"
+#include "util/env.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace gaas::core
@@ -55,6 +59,86 @@ Workload::fromSpecs(const std::vector<synth::BenchmarkSpec> &specs,
             src = std::make_unique<trace::LoopSource>(std::move(src));
         }
         wl.add(std::move(src), spec.baseCpi, spec.name);
+    }
+    return wl;
+}
+
+Workload
+Workload::fromTraceFiles(const std::vector<std::string> &paths,
+                         bool streaming, double base_cpi)
+{
+    if (paths.empty())
+        gaas_error(ErrorCode::Config,
+                   "trace-file workload names no files");
+
+    auto shortName = [](const std::string &path) {
+        const std::size_t slash = path.find_last_of("/\\");
+        return slash == std::string::npos
+                   ? path
+                   : path.substr(slash + 1);
+    };
+
+    Workload wl;
+    if (streaming) {
+        // One ceiling for the whole workload: each stream gets an
+        // even share, so naming more traces never buys more memory.
+        const std::size_t total =
+            static_cast<std::size_t>(envU64(
+                trace::kStreamBudgetEnv,
+                trace::kStreamBudgetDefaultMb)) *
+            (std::size_t{1} << 20);
+        trace::StreamOptions options;
+        options.memoryBudgetBytes = total / paths.size();
+        for (const std::string &path : paths) {
+            auto src = std::make_unique<trace::StreamSource>(
+                path, options);
+            wl.add(std::make_unique<trace::LoopSource>(
+                       std::move(src)),
+                   base_cpi, shortName(path));
+        }
+        return wl;
+    }
+
+    if (!trace::TraceArena::enabledByEnv()) {
+        for (const std::string &path : paths) {
+            auto src = std::make_unique<trace::TraceV3Reader>(path);
+            wl.add(std::make_unique<trace::LoopSource>(
+                       std::move(src)),
+                   base_cpi, shortName(path));
+        }
+        return wl;
+    }
+
+    // Arena path: decode each file once into the shared arena and
+    // replay it zero-copy, keyed by content digest + record count
+    // (v3FileInfo validates the header up front, so a bad path
+    // fails here, not inside a lazily-invoked factory).
+    auto &arena = trace::TraceArena::global();
+    for (const std::string &path : paths) {
+        const trace::V3FileInfo info = trace::v3FileInfo(path);
+        if (!info.packable()) {
+            // The arena stores packed u32 words only; a file with
+            // unaligned or >2^31-word addresses replays through its
+            // own block-at-a-time reader instead.
+            wl.add(std::make_unique<trace::LoopSource>(
+                       std::make_unique<trace::TraceV3Reader>(path)),
+                   base_cpi, shortName(path));
+            continue;
+        }
+        const std::string key =
+            "file:" + std::to_string(info.digest) + ":" +
+            std::to_string(info.records);
+        const auto bound =
+            static_cast<std::size_t>(info.records);
+        trace::ArenaStream *stream = arena.acquire(
+            key, bound, bound,
+            [path] {
+                return std::make_unique<trace::TraceV3Reader>(path);
+            });
+        auto view = std::make_unique<trace::ArenaSource>(
+            stream, shortName(path) + "[arena]");
+        wl.add(std::make_unique<trace::LoopSource>(std::move(view)),
+               base_cpi, shortName(path));
     }
     return wl;
 }

@@ -71,6 +71,34 @@ class Workload
                              Count instr_hint = 0);
 
     /**
+     * One process per named v3 trace file -- the paper's actual
+     * mode of operation, a pixie trace per benchmark, with the
+     * trace on disk instead of a synthetic model.
+     *
+     * Replay mode:
+     *  - @p streaming false (default): each file is decoded once
+     *    into the shared TraceArena (keyed by its content digest)
+     *    and replayed zero-copy, like the synthetic streams.  With
+     *    the arena disabled (GAAS_BENCH_ARENA=0) each process gets
+     *    its own block-at-a-time TraceV3Reader.
+     *  - @p streaming true: each process replays through a
+     *    bounded-memory StreamSource; the GAAS_TRACE_STREAM_MB
+     *    ceiling is split evenly across the files, so total
+     *    buffering stays under one ceiling regardless of how many
+     *    traces the workload names.
+     *
+     * Both modes produce bit-identical reference streams (wrapped
+     * in LoopSource, like every other workload source).  Files must
+     * be format v3 -- convert v1/v2 with `tracepack pack`.
+     *
+     * @param base_cpi CPU-stall CPI floor assigned to every trace
+     *        process (the paper's 1.238)
+     */
+    static Workload
+    fromTraceFiles(const std::vector<std::string> &paths,
+                   bool streaming = false, double base_cpi = 1.238);
+
+    /**
      * Materialize the arena streams standard(@p mp_level, ...)
      * would replay, through @p instr_hint total instructions, one
      * generator thread per stream -- all joined before returning,

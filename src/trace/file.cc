@@ -199,6 +199,14 @@ TraceFileReader::readHeader()
         gaas_error(ErrorCode::TraceIO, "bad magic in trace file: ", path);
     version = getU32(header + 4);
     if (version < kTraceMinVersion || version > kTraceVersion) {
+        // Version 3 is the block-compressed format (trace/v3.hh);
+        // this reader only speaks the flat record layout.
+        if (version == 3) {
+            gaas_error(ErrorCode::TraceIO, "trace file ", path,
+                       " is format v3; open it with TraceV3Reader /"
+                       " openTraceFile (trace/v3.hh), or convert it"
+                       " with `tracepack unpack`");
+        }
         gaas_error(ErrorCode::TraceIO, "unsupported trace version ",
                    version, " in ", path,
                    " (this build reads versions ", kTraceMinVersion,

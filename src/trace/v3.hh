@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Trace file format v3: block-compressed address traces.
+ *
+ * v1/v2 (trace/file.hh) spend 9 bytes per record; at the paper's
+ * 2.5-billion-reference regime that is ~21 GiB per workload and the
+ * whole file must be decoded serially.  v3 delta-encodes word
+ * addresses inside fixed-population blocks that are independently
+ * decodable, checksummed and seekable:
+ *
+ *   header (32 bytes, little endian):
+ *     magic "GTRC" u32, version u32 = 3, record count u64,
+ *     records per block u32, flags u32 (bit 0: every record fits
+ *     the packed u32 layout of trace/packed.hh), content digest u64
+ *   blocks (count / blockRefs, last one short):
+ *     frame: payload bytes u32, record count u32,
+ *            FNV-1a-32 of the payload u32
+ *     payload: one varint token per record (see below)
+ *   footer:
+ *     seek table: one u64 file offset per block (of its frame)
+ *     tail (16 bytes): block count u64,
+ *           FNV-1a-32 of the seek table u32, magic "GSK3" u32
+ *
+ * Token encoding: addresses are word indices (addr >> 2) and each
+ * record stores the signed delta from the previous record's word
+ * index, zig-zag mapped and packed together with the 4 meta bits
+ * into one LEB128 varint:
+ *
+ *   token = zigzag(wordDelta) << 4 | meta
+ *   meta  = kind (2 bits) | syscall << 2 | partialWord << 3
+ *
+ * meta == 0xF would need kind == 3, which no record has, so the
+ * single byte 0x0F escapes to a raw record (u64 address + meta
+ * byte) for unaligned addresses or deltas too large for 60 bits.
+ * Sequential instruction fetches (delta +1, meta 0) cost one byte.
+ * Every block restarts the delta chain at word 0, so blocks decode
+ * independently -- which is what lets the streaming reader
+ * (trace/stream.hh) prefetch ahead and lets skip() land on any
+ * block in O(1) via the seek table.
+ *
+ * The content digest folds each block's (record count, payload
+ * checksum) pair into a 64-bit FNV-1a, so two files with the same
+ * digest, record count and block size carry byte-identical payloads
+ * without anyone reading them end to end; the resume journal keys
+ * trace-file sweep points on it.
+ *
+ * Every malformed-file rejection is a SimError with
+ * ErrorCode::TraceIO and a byte-accurate offset, like the v2
+ * reader's.
+ */
+
+#ifndef GAAS_TRACE_V3_HH
+#define GAAS_TRACE_V3_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/source.hh"
+#include "util/hash.hh"
+
+namespace gaas::trace
+{
+
+/** v3 format version number (shares kTraceMagic with v1/v2). */
+inline constexpr std::uint32_t kV3Version = 3;
+
+/** Magic at the very end of the file, after the seek table. */
+inline constexpr std::uint32_t kV3FooterMagic = 0x334b5347; // "GSK3"
+
+/** Fixed-size header at the start of the file. */
+inline constexpr std::size_t kV3HeaderBytes = 32;
+
+/** Per-block frame: payload bytes u32, records u32, checksum u32. */
+inline constexpr std::size_t kV3FrameBytes = 12;
+
+/** Fixed-size tail after the seek table. */
+inline constexpr std::size_t kV3TailBytes = 16;
+
+/** Records per block written by default (64 Ki). */
+inline constexpr std::uint32_t kV3DefaultBlockRefs = 1u << 16;
+
+/** Largest records-per-block a writer accepts (4 Mi). */
+inline constexpr std::uint32_t kV3MaxBlockRefs = 1u << 22;
+
+/**
+ * Worst-case encoded bytes per record: a 10-byte varint for the
+ * delta path, or the 10-byte escape (token + u64 + meta).  Sizing
+ * payload buffers at records * this bound makes encode overflow
+ * impossible and caps a decoder's read size.
+ */
+inline constexpr std::size_t kV3MaxRecordBytes = 10;
+
+/** Header flag bit 0: every record passes packed::packable(). */
+inline constexpr std::uint32_t kV3FlagPackable = 1u;
+
+/** Cheap metadata peek (header only; no payload is read). */
+struct V3FileInfo
+{
+    std::uint64_t records = 0;
+    std::uint32_t blockRefs = 0;
+    std::uint32_t flags = 0;
+    std::uint64_t digest = 0;
+
+    bool packable() const { return (flags & kV3FlagPackable) != 0; }
+};
+
+/**
+ * Read and validate the 32-byte v3 header of @p path.  Throws
+ * SimError(TraceIO) if the file is missing, too short, has the wrong
+ * magic or is not version 3.
+ */
+V3FileInfo v3FileInfo(const std::string &path);
+
+namespace v3
+{
+
+/** Error context for byte-accurate decode diagnostics. */
+struct BlockContext
+{
+    /** File path (for messages); may be null for in-memory blocks. */
+    const std::string *path = nullptr;
+
+    /** Block index within the file. */
+    std::uint64_t block = 0;
+
+    /** Absolute file offset of the payload's first byte. */
+    std::uint64_t payloadOffset = 0;
+};
+
+/**
+ * Encode @p n records into @p out (sized >= n * kV3MaxRecordBytes).
+ * The delta chain starts at word 0.  @return payload bytes written.
+ */
+std::size_t encodeBlock(const MemRef *refs, std::size_t n,
+                        unsigned char *out);
+
+/**
+ * Decode exactly @p records records from a @p bytes -byte payload
+ * into @p out.  Throws SimError(TraceIO) -- naming the record, block
+ * and absolute byte offset from @p ctx -- on truncated or overlong
+ * varints, invalid escapes, bad record kinds, or trailing payload
+ * bytes.
+ */
+void decodeBlock(const unsigned char *payload, std::size_t bytes,
+                 std::size_t records, MemRef *out,
+                 const BlockContext &ctx);
+
+/**
+ * decodeBlock straight into packed u32 words (trace/packed.hh),
+ * skipping the 16-byte MemRef round trip -- the streaming hot path.
+ * Only valid for blocks of a file whose kV3FlagPackable flag is set;
+ * a record that does not fit the packed layout is a TraceIO error
+ * (the flag lied), never a silent truncation.
+ */
+void decodeBlockPacked(const unsigned char *payload,
+                       std::size_t bytes, std::size_t records,
+                       std::uint32_t *out, const BlockContext &ctx);
+
+} // namespace v3
+
+/**
+ * Streaming v3 writer; buffers one block of records, encodes and
+ * frames it when full, and finalises header + seek table on close.
+ */
+class TraceV3Writer
+{
+  public:
+    explicit TraceV3Writer(const std::string &path,
+                           std::uint32_t block_refs =
+                               kV3DefaultBlockRefs);
+
+    TraceV3Writer(const TraceV3Writer &) = delete;
+    TraceV3Writer &operator=(const TraceV3Writer &) = delete;
+
+    ~TraceV3Writer();
+
+    /** Append one record. */
+    void write(const MemRef &ref);
+
+    /** Drain @p src into the file; @return records written. */
+    std::uint64_t writeAll(TraceSource &src);
+
+    /** Flush, write footer, patch header; implied by destructor. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return count; }
+
+  private:
+    void flushBlock();
+
+    std::string path;
+    std::FILE *file = nullptr;
+    std::uint32_t blockRefs;
+    std::vector<MemRef> block;            // pending records
+    std::vector<unsigned char> payload;   // encode scratch
+    std::vector<std::uint64_t> offsets;   // seek table
+    util::Fnv1a digest;                   // content digest
+    std::uint64_t count = 0;
+    std::uint64_t writeOffset = kV3HeaderBytes;
+    bool packableAll = true;
+};
+
+/**
+ * An open, fully validated v3 file with random block access: the
+ * shared substrate of the sequential reader (TraceV3Reader) and the
+ * prefetching streamer (StreamSource).  Open-time validation covers
+ * header, tail, seek-table checksum, offset monotonicity/bounds and
+ * block-count/record-count consistency; per-block validation
+ * (frame/table agreement, payload checksum) happens in readBlock.
+ *
+ * Not thread-safe: each instance is owned by exactly one thread.
+ */
+class V3File
+{
+  public:
+    explicit V3File(const std::string &path);
+
+    V3File(const V3File &) = delete;
+    V3File &operator=(const V3File &) = delete;
+
+    ~V3File();
+
+    const std::string &path() const { return path_; }
+    std::uint64_t recordCount() const { return records_; }
+    std::uint32_t blockRefs() const { return blockRefs_; }
+    std::uint64_t blockCount() const { return offsets.size(); }
+    std::uint32_t flags() const { return flags_; }
+    std::uint64_t digest() const { return digest_; }
+
+    bool
+    packable() const
+    {
+        return (flags_ & kV3FlagPackable) != 0;
+    }
+
+    /** Largest payload in the file (from seek-table adjacency). */
+    std::size_t maxPayloadBytes() const { return maxPayload_; }
+
+    /** Global index of block @p b's first record. */
+    std::uint64_t
+    firstRecordOf(std::uint64_t b) const
+    {
+        return b * blockRefs_;
+    }
+
+    /** Record population of block @p b (blockRefs, last one short). */
+    std::uint32_t blockRecords(std::uint64_t b) const;
+
+    /** Absolute file offset of block @p b's payload. */
+    std::uint64_t
+    payloadOffset(std::uint64_t b) const
+    {
+        return offsets[b] + kV3FrameBytes;
+    }
+
+    /**
+     * Read block @p b's payload into @p payload (resized), after
+     * validating its frame against the seek table and its checksum
+     * against the bytes.  Throws SimError(TraceIO) on any mismatch.
+     */
+    void readBlock(std::uint64_t b,
+                   std::vector<unsigned char> &payload);
+
+  private:
+    void openAndValidate();
+
+    std::string path_;
+    std::FILE *file = nullptr;
+    std::uint64_t records_ = 0;
+    std::uint32_t blockRefs_ = kV3DefaultBlockRefs;
+    std::uint32_t flags_ = 0;
+    std::uint64_t digest_ = 0;
+    std::vector<std::uint64_t> offsets; // seek table
+    std::uint64_t tableStart = 0;
+    std::size_t maxPayload_ = 0;
+};
+
+/**
+ * Sequential TraceSource over a v3 file: decodes one block at a
+ * time into an in-memory buffer (so peak memory is one block, not
+ * the trace), with O(1) skip()/reset() via the seek table.  Block
+ * loading is lazy -- skip() only moves the cursor, and the block it
+ * lands in is decoded on the next read.
+ */
+class TraceV3Reader : public TraceSource
+{
+  public:
+    explicit TraceV3Reader(const std::string &path);
+
+    bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *out, std::size_t n) override;
+    std::size_t skip(std::size_t n) override;
+    void reset() override;
+    std::string name() const override;
+
+    std::uint64_t recordCount() const { return src.recordCount(); }
+    const V3File &file() const { return src; }
+
+  private:
+    void loadBlock(std::uint64_t b);
+
+    V3File src;
+    std::vector<unsigned char> payload;
+    std::vector<MemRef> refs; // decoded current block
+    std::uint64_t curBlock = ~std::uint64_t{0};
+    std::uint64_t pos = 0; // global record cursor
+};
+
+/**
+ * Open @p path as whatever trace version it is: v1/v2 get a
+ * TraceFileReader, v3 a TraceV3Reader.  Throws SimError(TraceIO) on
+ * anything else.
+ */
+std::unique_ptr<TraceSource> openTraceFile(const std::string &path);
+
+} // namespace gaas::trace
+
+#endif // GAAS_TRACE_V3_HH

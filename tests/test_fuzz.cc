@@ -25,7 +25,9 @@
 #include "core/config_io.hh"
 #include "core/simulator.hh"
 #include "trace/file.hh"
+#include "trace/v3.hh"
 #include "util/error.hh"
+#include "util/hash.hh"
 #include "util/random.hh"
 
 namespace gaas::core
@@ -432,6 +434,306 @@ TEST_P(TraceHeaderFuzz, MutatedFilesOpenOrRejectStructurally)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceHeaderFuzz,
+                         ::testing::Range<std::uint64_t>(1, 49));
+
+/**
+ * Write a small valid v3 trace (4 blocks: 64+64+64+8 records) and
+ * return its bytes.  The fixed shape lets the directed corruptions
+ * below compute exact frame / seek-table / tail offsets.
+ */
+std::string
+validV3Bytes(const std::string &dir)
+{
+    const std::string path = dir + "/valid.v3";
+    {
+        trace::TraceV3Writer writer(path, 64);
+        for (int i = 0; i < 200; ++i) {
+            trace::MemRef ref;
+            ref.addr = 0x0040'0000u + 4u * static_cast<Addr>(i % 90);
+            ref.kind = i % 5 == 0 ? trace::RefKind::Load
+                                  : trace::RefKind::Inst;
+            writer.write(ref);
+        }
+        writer.close();
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(TraceV3Fuzz, DirectedCorruptionsCarryTraceIoAndOffsets)
+{
+    const std::string dir = scratchDir("v3-directed");
+    const std::string valid = validV3Bytes(dir);
+    constexpr std::size_t kBlocks = 4;
+    const std::size_t tailStart =
+        valid.size() - trace::kV3TailBytes;
+    const std::size_t tableStart = tailStart - kBlocks * 8;
+
+    auto expectTraceIo = [&](std::string bytes,
+                             const char *needle) {
+        const std::string path = dir + "/bad.v3";
+        {
+            std::ofstream out(path, std::ios::binary);
+            out.write(bytes.data(),
+                      static_cast<std::streamsize>(bytes.size()));
+        }
+        try {
+            trace::TraceV3Reader reader(path);
+            trace::MemRef ref;
+            while (reader.next(ref)) {
+            }
+            FAIL() << "corrupt v3 trace was accepted (needle '"
+                   << (needle ? needle : "") << "')";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.code(), ErrorCode::TraceIO) << e.what();
+            if (needle) {
+                EXPECT_NE(std::string(e.what()).find(needle),
+                          std::string::npos)
+                    << e.what();
+            }
+        }
+    };
+    // Rewriting the seek table must keep its checksum consistent,
+    // or the checksum test would shadow the one being targeted.
+    auto fixTableChecksum = [&](std::string &bytes) {
+        const std::uint32_t sum = util::fnv1a32(
+            bytes.data() + tableStart, tailStart - tableStart);
+        for (int i = 0; i < 4; ++i)
+            bytes[tailStart + 8 + static_cast<std::size_t>(i)] =
+                static_cast<char>((sum >> (8 * i)) & 0xff);
+    };
+
+    expectTraceIo("", nullptr);                 // empty file
+    expectTraceIo(valid.substr(0, 10), "short"); // truncated header
+    {
+        std::string bytes = valid; // bad magic
+        bytes[0] = 'X';
+        expectTraceIo(bytes, "magic");
+    }
+    {
+        std::string bytes = valid; // version from the future
+        bytes[4] = 9;
+        expectTraceIo(bytes, nullptr);
+    }
+    {
+        std::string bytes = valid; // truncated mid-file: no footer
+        bytes.resize(bytes.size() / 2);
+        expectTraceIo(bytes, nullptr);
+    }
+    {
+        std::string bytes = valid; // bad footer magic
+        bytes[bytes.size() - 1] =
+            static_cast<char>(bytes[bytes.size() - 1] + 1);
+        expectTraceIo(bytes, "footer magic");
+    }
+    {
+        std::string bytes = valid; // seek-table checksum mismatch
+        bytes[tableStart + 3] =
+            static_cast<char>(bytes[tableStart + 3] ^ 0x5a);
+        expectTraceIo(bytes, "seek table checksum");
+    }
+    {
+        // Header promises one extra record: the block count still
+        // adds up, so the lie surfaces at the last block's frame.
+        std::string bytes = valid;
+        bytes[8] = static_cast<char>(bytes[8] + 1);
+        expectTraceIo(bytes, "records, expected");
+    }
+    {
+        // Corrupt payload byte inside block 0: the frame checksum
+        // catches it, byte-accurately.
+        std::string bytes = valid;
+        const std::size_t at =
+            trace::kV3HeaderBytes + trace::kV3FrameBytes + 2;
+        bytes[at] = static_cast<char>(bytes[at] ^ 0x5a);
+        expectTraceIo(bytes, "payload checksum mismatch");
+    }
+    {
+        // Frame declares one payload byte too many: frame vs seek
+        // table disagreement.
+        std::string bytes = valid;
+        bytes[trace::kV3HeaderBytes] = static_cast<char>(
+            bytes[trace::kV3HeaderBytes] + 1);
+        expectTraceIo(bytes, "seek table lies");
+    }
+    {
+        // Lying seek table (checksum made consistent): swapping two
+        // interior entries breaks monotonicity.  (Entry 0 has its
+        // own stricter must-be-first-block check.)
+        std::string bytes = valid;
+        for (std::size_t i = 0; i < 8; ++i)
+            std::swap(bytes[tableStart + 8 + i],
+                      bytes[tableStart + 16 + i]);
+        fixTableChecksum(bytes);
+        expectTraceIo(bytes, "out of bounds");
+    }
+    {
+        // Lying seek table: an entry pointing past the file.
+        std::string bytes = valid;
+        for (std::size_t i = 0; i < 8; ++i)
+            bytes[tableStart + 8 + i] =
+                static_cast<char>(i < 4 ? 0xff : 0x00);
+        fixTableChecksum(bytes);
+        expectTraceIo(bytes, "out of bounds");
+    }
+}
+
+TEST(TraceV3Fuzz, DirectedPayloadDecodeRejections)
+{
+    // Payload-level corruptions that a (correct) checksum cannot
+    // rule out -- bad varints, bad escapes, bad kinds, trailing
+    // bytes -- exercised through the decoder directly.  Every
+    // rejection is TraceIO and names the payload byte.
+    const trace::v3::BlockContext ctx{nullptr, 0, 0};
+    auto expectDecodeFail =
+        [&](std::vector<unsigned char> payload, std::size_t records,
+            const char *needle) {
+            std::vector<trace::MemRef> out(records);
+            try {
+                trace::v3::decodeBlock(payload.data(),
+                                       payload.size(), records,
+                                       out.data(), ctx);
+                FAIL() << "bad payload decoded (needle '" << needle
+                       << "')";
+            } catch (const SimError &e) {
+                EXPECT_EQ(e.code(), ErrorCode::TraceIO) << e.what();
+                const std::string what = e.what();
+                EXPECT_NE(what.find("payload byte"),
+                          std::string::npos)
+                    << what;
+                EXPECT_NE(what.find(needle), std::string::npos)
+                    << what;
+            }
+        };
+
+    expectDecodeFail({}, 1, "payload ends mid-record");
+    expectDecodeFail({0x80}, 1, "payload ends inside a varint");
+    expectDecodeFail({0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                      0x80, 0x80, 0x7f},
+                     1, "varint overflows 64 bits");
+    expectDecodeFail({0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                      0x80, 0x80, 0x80, 0x01},
+                     1, "varint longer than 64 bits");
+    expectDecodeFail({0x0f}, 1, "payload ends inside a raw record");
+    expectDecodeFail({0x1f}, 1, "invalid escape token");
+    expectDecodeFail({0x03}, 1, "invalid record kind");
+    expectDecodeFail({0x0f, 0, 0, 0, 0, 0, 0, 0, 0, 0x03}, 1,
+                     "invalid record kind");
+    expectDecodeFail({0x00, 0x00}, 1,
+                     "trailing bytes after the last record");
+}
+
+TEST(TraceV3Fuzz, PackedDecodeRejectsALyingPackableFlag)
+{
+    // decodeBlockPacked trusts the header's packable flag; a record
+    // that does not fit the packed u32 layout is a TraceIO error,
+    // never a silent truncation.
+    const trace::v3::BlockContext ctx{nullptr, 0, 0};
+    auto expectPackedFail = [&](const trace::MemRef &ref,
+                                const char *needle) {
+        unsigned char payload[trace::kV3MaxRecordBytes];
+        const std::size_t bytes =
+            trace::v3::encodeBlock(&ref, 1, payload);
+        std::uint32_t word = 0;
+        try {
+            trace::v3::decodeBlockPacked(payload, bytes, 1, &word,
+                                         ctx);
+            FAIL() << "unpackable record packed (needle '" << needle
+                   << "')";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.code(), ErrorCode::TraceIO) << e.what();
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << e.what();
+        }
+    };
+
+    expectPackedFail(trace::loadRef(0x1001), // unaligned -> escape
+                     "does not fit the packed layout");
+    expectPackedFail(trace::loadRef(Addr{1} << 33), // word >= 2^29
+                     "exceeds the packed layout");
+}
+
+/**
+ * Open (and fully read) @p bytes via the version-dispatching
+ * opener, requiring either success or SimError(TraceIO) -- random
+ * mutation may turn a v3 file into anything.
+ */
+void
+expectStructuredV3Open(const std::string &dir,
+                       const std::string &bytes)
+{
+    const std::string path = dir + "/mutant.v3";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    try {
+        auto reader = trace::openTraceFile(path);
+        trace::MemRef ref;
+        while (reader->next(ref)) {
+        }
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::TraceIO) << e.what();
+    }
+}
+
+class TraceV3Fuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TraceV3Fuzz, MutatedFilesOpenOrRejectStructurally)
+{
+    Rng rng(GetParam() * 15485863);
+    const std::string dir =
+        scratchDir("v3-" + std::to_string(GetParam()));
+    std::string bytes = validV3Bytes(dir);
+
+    const unsigned mutations = 1 + rng.nextBounded(3);
+    for (unsigned m = 0; m < mutations; ++m) {
+        if (bytes.empty())
+            break;
+        switch (rng.nextBounded(5)) {
+          case 0: { // flip a random byte anywhere
+            const std::size_t at = rng.nextBounded(bytes.size());
+            bytes[at] = static_cast<char>(rng.nextBounded(256));
+            break;
+          }
+          case 1: // truncate
+            bytes.resize(rng.nextBounded(bytes.size()));
+            break;
+          case 2: { // append garbage
+            const unsigned extra = 1 + rng.nextBounded(16);
+            for (unsigned i = 0; i < extra; ++i)
+                bytes += static_cast<char>(rng.nextBounded(256));
+            break;
+          }
+          case 3: { // corrupt a header byte specifically
+            const std::size_t at =
+                rng.nextBounded(trace::kV3HeaderBytes);
+            if (at < bytes.size())
+                bytes[at] =
+                    static_cast<char>(rng.nextBounded(256));
+            break;
+          }
+          case 4: { // corrupt the footer region specifically
+            const std::size_t span =
+                std::min(bytes.size(),
+                         trace::kV3TailBytes + 4 * 8);
+            const std::size_t at = bytes.size() - span +
+                                   rng.nextBounded(span);
+            bytes[at] = static_cast<char>(rng.nextBounded(256));
+            break;
+          }
+        }
+    }
+    expectStructuredV3Open(dir, bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceV3Fuzz,
                          ::testing::Range<std::uint64_t>(1, 49));
 
 } // namespace

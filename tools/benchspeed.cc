@@ -43,14 +43,38 @@
  * `--overhead PCT` makes that overhead a hard assertion, the
  * perfsmoke guard that cross-process sharding stays cheap.
  *
- * Usage: benchspeed [--smoke] [--sample | --mproc] [--out FILE]
- *                   [--floor REFS] [--overhead PCT]
+ * `--stream` benchmarks trace-file ingestion instead: it encodes a
+ * multi-gigareference workload into v3 trace files (tracepack's
+ * format, one file per process), measures the raw streaming decode
+ * rate, then simulates one pinned configuration twice -- replaying
+ * the files from the in-memory arena and through the bounded-memory
+ * StreamSource -- byte-compares the two stats dumps, and writes
+ * encode/drain/simulate throughput to `BENCH_9.json`.  `--grefs G`
+ * sizes the workload in billions of references (default 2.5, the
+ * paper's regime); `--ratio R` makes the streaming-vs-arena
+ * simulation throughput ratio a hard assertion (the
+ * perfsmoke.stream-floor guard).
+ *
+ * Every document also records `calibration_refs_per_second` -- the
+ * rate of one pinned single-thread synthetic-generator drain -- and
+ * each mode's `machine_relative` rate (mode refs/s divided by the
+ * calibration), so numbers from different hosts compare directly
+ * (cf. BENCH_5 vs BENCH_6, recorded on different machines).
+ * `floor_refs_per_second` only appears when --floor was actually
+ * enforced.
+ *
+ * Usage: benchspeed [--smoke] [--sample | --mproc | --stream]
+ *                   [--out FILE] [--floor REFS] [--overhead PCT]
+ *                   [--grefs G] [--ratio R]
  */
 
 #include <array>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -63,7 +87,10 @@
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "proc/executor.hh"
+#include "synth/suite.hh"
 #include "trace/arena.hh"
+#include "trace/stream.hh"
+#include "trace/v3.hh"
 #include "util/file_io.hh"
 
 namespace
@@ -187,6 +214,72 @@ num(double v)
     return obs::JsonValue::number(v);
 }
 
+/**
+ * The machine yardstick: drain one pinned single-thread synthetic
+ * benchmark (suite entry 0, 2M instructions) and return its refs/s.
+ * The workload is deterministic and identical on every host, so
+ * `mode rate / calibration rate` compares across machines where the
+ * absolute rates do not.
+ */
+double
+calibrationRefsPerSecond()
+{
+    synth::BenchmarkSpec spec = synth::defaultSuite()[0];
+    spec.simInstructions = 2'000'000;
+    auto src = synth::makeBenchmark(spec);
+    constexpr std::size_t kBatch = 1u << 14;
+    std::vector<trace::MemRef> buf(kBatch);
+    std::uint64_t n = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (;;) {
+        const std::size_t got = src->nextBatch(buf.data(), kBatch);
+        n += got;
+        if (got < kBatch)
+            break;
+    }
+    const double secs =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return secs > 0.0 ? static_cast<double>(n) / secs : 0.0;
+}
+
+/**
+ * Common rate-context members of every document: the enforced floor
+ * (only when one was actually enforced -- an unset floor used to be
+ * recorded as a misleading 0) and the calibration rate.
+ */
+void
+emitRateContext(obs::JsonValue &doc, double floor_refs,
+                double calibration)
+{
+    if (floor_refs > 0.0)
+        doc.members.emplace_back("floor_refs_per_second",
+                                 num(floor_refs));
+    doc.members.emplace_back("calibration_refs_per_second",
+                             num(calibration));
+}
+
+/** @return refs/s scaled by the calibration yardstick (0-safe). */
+double
+machineRelative(double refs_per_second, double calibration)
+{
+    return calibration > 0.0 ? refs_per_second / calibration : 0.0;
+}
+
+/** Peak resident set size (VmHWM) in KiB, or 0 if unavailable. */
+std::uint64_t
+peakRssKb()
+{
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0)
+            return std::strtoull(line.c_str() + 6, nullptr, 10);
+    }
+    return 0;
+}
+
 /** The per-phase breakdown of one mode, as a JSON array. */
 obs::JsonValue
 phasesJson(const ModeRun &run, std::size_t points_per_phase)
@@ -215,7 +308,8 @@ phasesJson(const ModeRun &run, std::size_t points_per_phase)
  * cross-check, BENCH_7.json.  Returns the process exit code.
  */
 int
-runSampleBench(bool smoke, std::string outPath, double floorRefs)
+runSampleBench(bool smoke, std::string outPath, double floorRefs,
+               double calibration)
 {
     if (outPath.empty())
         outPath = "BENCH_7.json";
@@ -331,14 +425,16 @@ runSampleBench(bool smoke, std::string outPath, double floorRefs)
                              num(static_cast<double>(mp)));
     doc.members.emplace_back(
         "workers", num(static_cast<double>(full.stats.workers)));
-    doc.members.emplace_back("floor_refs_per_second",
-                             num(floorRefs));
+    emitRateContext(doc, floorRefs, calibration);
 
     obs::JsonValue fullJson = obs::JsonValue::object();
     fullJson.members.emplace_back("wall_seconds",
                                   num(full.wallSeconds));
     fullJson.members.emplace_back("refs_per_second",
                                   num(full.refsPerSecond));
+    fullJson.members.emplace_back(
+        "machine_relative",
+        num(machineRelative(full.refsPerSecond, calibration)));
     doc.members.emplace_back("full_detail", std::move(fullJson));
 
     obs::JsonValue sampJson = obs::JsonValue::object();
@@ -383,7 +479,7 @@ runSampleBench(bool smoke, std::string outPath, double floorRefs)
  */
 int
 runMprocBench(bool smoke, std::string outPath, double floorRefs,
-              double maxOverheadPct)
+              double maxOverheadPct, double calibration)
 {
     if (outPath.empty())
         outPath = "BENCH_8.json";
@@ -477,14 +573,16 @@ runMprocBench(bool smoke, std::string outPath, double floorRefs,
                              num(static_cast<double>(workers)));
     doc.members.emplace_back("max_overhead_pct",
                              num(maxOverheadPct));
-    doc.members.emplace_back("floor_refs_per_second",
-                             num(floorRefs));
+    emitRateContext(doc, floorRefs, calibration);
 
     obs::JsonValue thr = obs::JsonValue::object();
     thr.members.emplace_back("wall_seconds",
                              num(threads.wallSeconds));
     thr.members.emplace_back("refs_per_second",
                              num(threads.refsPerSecond));
+    thr.members.emplace_back(
+        "machine_relative",
+        num(machineRelative(threads.refsPerSecond, calibration)));
     doc.members.emplace_back("threads", std::move(thr));
 
     obs::JsonValue prc = obs::JsonValue::object();
@@ -492,6 +590,9 @@ runMprocBench(bool smoke, std::string outPath, double floorRefs,
                              num(procs.wallSeconds));
     prc.members.emplace_back("refs_per_second",
                              num(procs.refsPerSecond));
+    prc.members.emplace_back(
+        "machine_relative",
+        num(machineRelative(procs.refsPerSecond, calibration)));
     prc.members.emplace_back(
         "worker_processes",
         num(static_cast<double>(procs.stats.workers)));
@@ -518,6 +619,265 @@ runMprocBench(bool smoke, std::string outPath, double floorRefs,
     return rc;
 }
 
+/**
+ * The --stream benchmark: encode a multi-gigareference workload
+ * into v3 trace files, measure raw streaming decode, then simulate
+ * one pinned configuration from the arena and through StreamSource,
+ * byte-compare, and write BENCH_9.json.  Returns the process exit
+ * code.
+ */
+int
+runStreamBench(bool smoke, std::string outPath, double grefs,
+               double ratioFloor, double calibration)
+{
+    if (outPath.empty())
+        outPath = "BENCH_9.json";
+
+    // One file per process of the multiprogramming workload.  File
+    // sizes follow the scheduler's instruction shares (speed-
+    // proportional, like Workload::standard's refHint) with 10%
+    // slack, so most files last the whole run without wrapping --
+    // though wrapping would be bit-identical too (LoopSource).
+    const unsigned files = smoke ? 2 : 8;
+    const double targetRefs = smoke ? 4.0e6 : grefs * 1e9;
+    auto specs = synth::workloadSpecs(files);
+
+    double invSum = 0.0;
+    double minRpi = 10.0;
+    for (const auto &s : specs) {
+        invSum += 1.0 / s.baseCpi;
+        minRpi =
+            std::min(minRpi, 1.0 + s.loadFrac + s.storeFrac);
+    }
+    // Simulation budget sized so the measured run consumes at least
+    // targetRefs references even if every instruction landed in the
+    // lowest-refs-per-instruction process (2% margin on top).
+    const Count totalInstr =
+        static_cast<Count>(targetRefs / minRpi * 1.02);
+
+    std::cout << "benchspeed --stream: " << files
+              << " trace file(s), target "
+              << static_cast<std::uint64_t>(targetRefs)
+              << " references, " << totalInstr
+              << " simulated instructions\n";
+
+    // Encode phase: synth generator -> v3, one file per process.
+    std::vector<std::string> paths;
+    std::uint64_t encRecords = 0;
+    std::uint64_t encBytes = 0;
+    const auto encStart = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < files; ++i) {
+        synth::BenchmarkSpec spec = specs[i];
+        const double share = (1.0 / spec.baseCpi) / invSum;
+        spec.simInstructions = static_cast<Count>(
+            share * static_cast<double>(totalInstr) * 1.1);
+        const std::string path = "benchspeed-stream-" +
+                                 std::to_string(i) + ".v3";
+        auto src = synth::makeBenchmark(spec);
+        trace::TraceV3Writer writer(path);
+        encRecords += writer.writeAll(*src);
+        writer.close();
+        if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+            const std::int64_t sz = util::fileSizeBytes(f);
+            encBytes += sz > 0 ? static_cast<std::uint64_t>(sz) : 0;
+            std::fclose(f);
+        }
+        paths.push_back(path);
+    }
+    const double encSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - encStart)
+            .count();
+    const double encRate =
+        encSeconds > 0.0
+            ? static_cast<double>(encRecords) / encSeconds
+            : 0.0;
+    std::cout << "  encode: " << encRecords << " records, "
+              << encBytes << " bytes ("
+              << (encRecords
+                      ? static_cast<double>(encBytes) /
+                            static_cast<double>(encRecords)
+                      : 0.0)
+              << " B/record) in " << encSeconds << " s = "
+              << encRate << " refs/s\n";
+
+    // Drain phase: raw streaming decode rate of the first file
+    // (packed batches, default memory ceiling), no simulator.
+    double drainRate = 0.0;
+    std::size_t drainSlots = 0;
+    std::size_t drainBytes = 0;
+    {
+        trace::StreamSource drain(paths[0]);
+        drainSlots = drain.slotCount();
+        drainBytes = drain.bufferBytes();
+        constexpr std::size_t kBatch = 1u << 14;
+        std::vector<std::uint32_t> buf(kBatch);
+        std::uint64_t n = 0;
+        const auto start = std::chrono::steady_clock::now();
+        for (;;) {
+            const std::size_t got =
+                drain.nextBatchPacked(buf.data(), kBatch);
+            if (got == trace::TraceSource::kNoPacked) {
+                std::cerr << "benchspeed: FAIL: synth-written v3 "
+                             "file is not packable\n";
+                return 1;
+            }
+            n += got;
+            if (got < kBatch)
+                break;
+        }
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        drainRate = secs > 0.0
+                        ? static_cast<double>(n) / secs
+                        : 0.0;
+        std::cout << "  drain:  " << n << " records at "
+                  << drainRate << " refs/s (" << drainSlots
+                  << " slots, " << drainBytes
+                  << " buffer bytes)\n";
+    }
+
+    // Simulate phase: one pinned fig6 configuration over the trace
+    // files, streamed first (so the RSS high-water mark below is
+    // the bounded-memory pipeline's, not the arena's), then from
+    // the in-memory arena.
+    core::SweepJob job;
+    job.config = core::afterWritePolicy();
+    job.config.name = "l2-256k-unified-1w";
+    job.config.l2Org = core::L2Org::Unified;
+    job.config.l2.cache.sizeWords = 256 * 1024;
+    job.config.l2.cache.assoc = 1;
+    job.config.l2.accessTime = 6;
+    job.instructions = totalInstr;
+    job.warmup = 0;
+    job.traceFiles = paths;
+
+    job.traceStreaming = true;
+    const ModeRun stream = runMode({job}, true);
+    const std::uint64_t streamRssKb = peakRssKb();
+    std::cout << "  stream: " << stream.wallSeconds << " s wall, "
+              << stream.refsPerSecond << " refs/s (peak RSS "
+              << streamRssKb << " KiB)\n";
+
+    job.traceStreaming = false;
+    const ModeRun arena = runMode({job}, true);
+    std::cout << "  arena:  " << arena.wallSeconds << " s wall, "
+              << arena.refsPerSecond << " refs/s\n";
+
+    int rc = 0;
+    if (stream.dumps != arena.dumps) {
+        std::cerr << "benchspeed: FAIL: streamed and in-memory "
+                     "replay produced different stats dumps\n";
+        rc = 1;
+    }
+    const auto streamRefs =
+        static_cast<double>(stream.results[0].references());
+    if (!smoke && streamRefs < targetRefs) {
+        std::cerr << "benchspeed: FAIL: streamed run consumed "
+                  << streamRefs << " references, below the "
+                  << targetRefs << " target\n";
+        rc = 1;
+    }
+    const double ratio =
+        arena.refsPerSecond > 0.0
+            ? stream.refsPerSecond / arena.refsPerSecond
+            : 0.0;
+    std::cout << "  streaming sustains " << ratio * 100.0
+              << " % of arena replay\n";
+    if (ratioFloor > 0.0 && ratio < ratioFloor) {
+        std::cerr << "benchspeed: FAIL: streaming/arena ratio "
+                  << ratio << " is below the floor " << ratioFloor
+                  << "\n";
+        rc = 1;
+    }
+
+    for (const std::string &path : paths)
+        std::remove(path.c_str());
+
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.members.emplace_back(
+        "benchmark", obs::JsonValue::string("trace-stream"));
+    doc.members.emplace_back("smoke", num(smoke ? 1 : 0));
+    doc.members.emplace_back("files",
+                             num(static_cast<double>(files)));
+    doc.members.emplace_back("target_references",
+                             num(targetRefs));
+    doc.members.emplace_back(
+        "instructions", num(static_cast<double>(totalInstr)));
+    if (ratioFloor > 0.0)
+        doc.members.emplace_back("ratio_floor", num(ratioFloor));
+    emitRateContext(doc, 0.0, calibration);
+
+    obs::JsonValue enc = obs::JsonValue::object();
+    enc.members.emplace_back(
+        "records", num(static_cast<double>(encRecords)));
+    enc.members.emplace_back("bytes",
+                             num(static_cast<double>(encBytes)));
+    enc.members.emplace_back(
+        "bytes_per_record",
+        num(encRecords ? static_cast<double>(encBytes) /
+                             static_cast<double>(encRecords)
+                       : 0.0));
+    enc.members.emplace_back("seconds", num(encSeconds));
+    enc.members.emplace_back("refs_per_second", num(encRate));
+    doc.members.emplace_back("encode", std::move(enc));
+
+    obs::JsonValue drn = obs::JsonValue::object();
+    drn.members.emplace_back("refs_per_second", num(drainRate));
+    drn.members.emplace_back(
+        "machine_relative",
+        num(machineRelative(drainRate, calibration)));
+    drn.members.emplace_back(
+        "slots", num(static_cast<double>(drainSlots)));
+    drn.members.emplace_back(
+        "buffer_bytes", num(static_cast<double>(drainBytes)));
+    doc.members.emplace_back("drain", std::move(drn));
+
+    obs::JsonValue sim = obs::JsonValue::object();
+    sim.members.emplace_back(
+        "config", obs::JsonValue::string(job.config.name));
+    sim.members.emplace_back("references", num(streamRefs));
+
+    obs::JsonValue str = obs::JsonValue::object();
+    str.members.emplace_back("wall_seconds",
+                             num(stream.wallSeconds));
+    str.members.emplace_back("refs_per_second",
+                             num(stream.refsPerSecond));
+    str.members.emplace_back(
+        "machine_relative",
+        num(machineRelative(stream.refsPerSecond, calibration)));
+    str.members.emplace_back(
+        "peak_rss_kb", num(static_cast<double>(streamRssKb)));
+    sim.members.emplace_back("stream", std::move(str));
+
+    obs::JsonValue arn = obs::JsonValue::object();
+    arn.members.emplace_back("wall_seconds",
+                             num(arena.wallSeconds));
+    arn.members.emplace_back("refs_per_second",
+                             num(arena.refsPerSecond));
+    arn.members.emplace_back(
+        "machine_relative",
+        num(machineRelative(arena.refsPerSecond, calibration)));
+    sim.members.emplace_back("arena", std::move(arn));
+
+    sim.members.emplace_back("stream_to_arena_ratio", num(ratio));
+    doc.members.emplace_back("simulate", std::move(sim));
+
+    std::string error;
+    if (!util::writeFileAtomicRetry(
+            outPath, obs::writeJsonString(doc) + "\n", &error)) {
+        std::cerr << "benchspeed: cannot write " << outPath << ": "
+                  << error << "\n";
+        rc = 1;
+    } else {
+        std::cout << "  ratio " << ratio << " -> " << outPath
+                  << "\n";
+    }
+    return rc;
+}
+
 } // namespace
 
 int
@@ -526,9 +886,12 @@ main(int argc, char **argv)
     bool smoke = false;
     bool sample = false;
     bool mproc = false;
+    bool stream = false;
     std::string outPath;
     double floorRefs = 0.0;
     double overheadPct = 0.0;
+    double grefs = 2.5;
+    double ratioFloor = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
@@ -536,6 +899,29 @@ main(int argc, char **argv)
             sample = true;
         } else if (std::strcmp(argv[i], "--mproc") == 0) {
             mproc = true;
+        } else if (std::strcmp(argv[i], "--stream") == 0) {
+            stream = true;
+        } else if (std::strcmp(argv[i], "--grefs") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            grefs = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || grefs <= 0.0) {
+                std::cerr << "benchspeed: --grefs needs a positive "
+                             "billions-of-references value, got '"
+                          << argv[i] << "'\n";
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--ratio") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            ratioFloor = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' ||
+                ratioFloor <= 0.0 || ratioFloor > 1.0) {
+                std::cerr << "benchspeed: --ratio needs a value in "
+                             "(0, 1], got '"
+                          << argv[i] << "'\n";
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--overhead") == 0 &&
                    i + 1 < argc) {
             char *end = nullptr;
@@ -563,15 +949,23 @@ main(int argc, char **argv)
             }
         } else {
             std::cerr << "usage: benchspeed [--smoke] "
-                         "[--sample | --mproc] [--out FILE] "
-                         "[--floor REFS] [--overhead PCT]\n";
+                         "[--sample | --mproc | --stream] "
+                         "[--out FILE] [--floor REFS] "
+                         "[--overhead PCT] [--grefs G] "
+                         "[--ratio R]\n";
             return 2;
         }
     }
+    const double calibration = calibrationRefsPerSecond();
     if (sample)
-        return runSampleBench(smoke, outPath, floorRefs);
+        return runSampleBench(smoke, outPath, floorRefs,
+                              calibration);
     if (mproc)
-        return runMprocBench(smoke, outPath, floorRefs, overheadPct);
+        return runMprocBench(smoke, outPath, floorRefs, overheadPct,
+                             calibration);
+    if (stream)
+        return runStreamBench(smoke, outPath, grefs, ratioFloor,
+                              calibration);
     if (outPath.empty())
         outPath = "BENCH_6.json";
 
@@ -656,14 +1050,16 @@ main(int argc, char **argv)
                              num(static_cast<double>(mp)));
     doc.members.emplace_back(
         "workers", num(static_cast<double>(off.stats.workers)));
-    doc.members.emplace_back("floor_refs_per_second",
-                             num(floorRefs));
+    emitRateContext(doc, floorRefs, calibration);
 
     obs::JsonValue offJson = obs::JsonValue::object();
     offJson.members.emplace_back("wall_seconds",
                                  num(off.wallSeconds));
     offJson.members.emplace_back("refs_per_second",
                                  num(off.refsPerSecond));
+    offJson.members.emplace_back(
+        "machine_relative",
+        num(machineRelative(off.refsPerSecond, calibration)));
     offJson.members.emplace_back("phases",
                                  phasesJson(off, pointsPerPhase));
     doc.members.emplace_back("arena_off", std::move(offJson));
@@ -673,6 +1069,9 @@ main(int argc, char **argv)
                                 num(on.wallSeconds));
     onJson.members.emplace_back("refs_per_second",
                                 num(on.refsPerSecond));
+    onJson.members.emplace_back(
+        "machine_relative",
+        num(machineRelative(on.refsPerSecond, calibration)));
     onJson.members.emplace_back("phases",
                                 phasesJson(on, pointsPerPhase));
     onJson.members.emplace_back(

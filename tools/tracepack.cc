@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Trace-file packer: converts between the flat v1/v2 record format
+ * and the block-compressed v3 format (trace/v3.hh), writes v3 files
+ * straight from the synthetic benchmark suite, and verifies files
+ * and round-trips.
+ *
+ * Usage:
+ *   tracepack pack   <in> <out> [--block-refs N]
+ *   tracepack unpack <in> <out>
+ *   tracepack synth  <out> [--bench I] [--instructions N]
+ *                    [--seed S] [--block-refs N]
+ *   tracepack verify <file> [--against OTHER]
+ *   tracepack info   <file>
+ *   tracepack drain  <file> [--stream-mb M]
+ *
+ * `pack` reads any supported version (v1/v2/v3) and writes v3;
+ * `unpack` writes the flat v2 layout, so `pack` then `unpack` is a
+ * byte-level round trip of the record stream.  `synth` plays one
+ * pass of a suite benchmark (default: benchmark 0) into a v3 file --
+ * the cheap way to make multi-gigabyte test inputs.  `verify` fully
+ * decodes a file (exercising every checksum) and, with --against,
+ * record-compares two files of any version mix.  `drain` replays a
+ * v3 file through the bounded-memory StreamSource and reports
+ * refs/s plus peak RSS (VmHWM) -- the probe the RSS-ceiling shell
+ * test uses.
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "synth/suite.hh"
+#include "trace/file.hh"
+#include "trace/stream.hh"
+#include "trace/v3.hh"
+#include "util/env.hh"
+#include "util/error.hh"
+
+namespace
+{
+
+using namespace gaas;
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: tracepack pack   <in> <out> [--block-refs N]\n"
+        "       tracepack unpack <in> <out>\n"
+        "       tracepack synth  <out> [--bench I] "
+        "[--instructions N] [--seed S] [--block-refs N]\n"
+        "       tracepack verify <file> [--against OTHER]\n"
+        "       tracepack info   <file>\n"
+        "       tracepack drain  <file> [--stream-mb M]\n";
+    std::exit(2);
+}
+
+/** Strict numeric option value (tracepack pack in --block-refs 4x
+ *  must die, not truncate). */
+std::uint64_t
+numValue(const std::string &opt, const char *text)
+{
+    const auto v = parseU64(text);
+    if (!v) {
+        std::cerr << "tracepack: bad value '" << text << "' for "
+                  << opt << " (positive decimal integer required)\n";
+        std::exit(2);
+    }
+    return *v;
+}
+
+/** Peak resident set size (VmHWM) in KiB, or 0 if unavailable. */
+std::uint64_t
+peakRssKb()
+{
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0)
+            return std::strtoull(line.c_str() + 6, nullptr, 10);
+    }
+    return 0;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+int
+cmdPack(const std::string &in, const std::string &out,
+        std::uint32_t block_refs)
+{
+    auto src = trace::openTraceFile(in);
+    trace::TraceV3Writer writer(out, block_refs);
+    const std::uint64_t n = writer.writeAll(*src);
+    writer.close();
+    const trace::V3FileInfo info = trace::v3FileInfo(out);
+    std::cout << "packed " << n << " records into " << out
+              << " (block " << info.blockRefs << " records, "
+              << (info.packable() ? "packable" : "not packable")
+              << ", digest " << info.digest << ")\n";
+    return 0;
+}
+
+int
+cmdUnpack(const std::string &in, const std::string &out)
+{
+    trace::TraceV3Reader reader(in);
+    trace::TraceFileWriter writer(out);
+    const std::uint64_t n = writer.writeAll(reader);
+    writer.close();
+    std::cout << "unpacked " << n << " records into " << out
+              << " (format v" << trace::kTraceVersion << ")\n";
+    return 0;
+}
+
+int
+cmdSynth(const std::string &out, std::uint64_t bench,
+         std::uint64_t instructions, std::uint64_t seed,
+         std::uint32_t block_refs)
+{
+    const auto &suite = synth::defaultSuite();
+    if (bench >= suite.size()) {
+        std::cerr << "tracepack: --bench " << bench
+                  << " out of range (suite has " << suite.size()
+                  << " benchmarks)\n";
+        return 2;
+    }
+    synth::BenchmarkSpec spec = suite[bench];
+    if (instructions)
+        spec.simInstructions = instructions;
+    if (seed)
+        spec.seed = seed;
+    auto src = synth::makeBenchmark(spec);
+    trace::TraceV3Writer writer(out, block_refs);
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t n = writer.writeAll(*src);
+    writer.close();
+    const double secs = secondsSince(start);
+    std::cout << "synthesized " << n << " records ('" << spec.name
+              << "', " << spec.simInstructions
+              << " instructions) into " << out;
+    if (secs > 0.0)
+        std::cout << " at "
+                  << static_cast<std::uint64_t>(
+                         static_cast<double>(n) / secs)
+                  << " refs/s";
+    std::cout << '\n';
+    return 0;
+}
+
+int
+cmdVerify(const std::string &path, const std::string &against)
+{
+    // A full sequential decode exercises the header, the seek table
+    // and every frame + payload checksum; any corruption dies with
+    // the codec's byte-accurate SimError.
+    auto src = trace::openTraceFile(path);
+    constexpr std::size_t kBatch = 1u << 14;
+    std::vector<trace::MemRef> a(kBatch);
+    std::uint64_t n = 0;
+    if (against.empty()) {
+        for (;;) {
+            const std::size_t got = src->nextBatch(a.data(), kBatch);
+            n += got;
+            if (got < kBatch)
+                break;
+        }
+        std::cout << "ok: " << path << " decodes cleanly (" << n
+                  << " records)\n";
+        return 0;
+    }
+
+    auto other = trace::openTraceFile(against);
+    std::vector<trace::MemRef> b(kBatch);
+    for (;;) {
+        const std::size_t gotA = src->nextBatch(a.data(), kBatch);
+        const std::size_t gotB = other->nextBatch(b.data(), kBatch);
+        const std::size_t common = std::min(gotA, gotB);
+        for (std::size_t i = 0; i < common; ++i) {
+            if (a[i].addr != b[i].addr || a[i].kind != b[i].kind ||
+                a[i].syscall != b[i].syscall ||
+                a[i].partialWord != b[i].partialWord) {
+                std::cerr << "mismatch at record " << n + i << ": "
+                          << path << " has addr 0x" << std::hex
+                          << a[i].addr << ", " << against
+                          << " has addr 0x" << b[i].addr << std::dec
+                          << '\n';
+                return 1;
+            }
+        }
+        n += common;
+        if (gotA != gotB) {
+            std::cerr << "length mismatch after " << n
+                      << " records: " << (gotA < gotB ? path : against)
+                      << " ends first\n";
+            return 1;
+        }
+        if (gotA < kBatch)
+            break;
+    }
+    std::cout << "ok: " << path << " and " << against
+              << " are record-identical (" << n << " records)\n";
+    return 0;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    const trace::V3FileInfo info = trace::v3FileInfo(path);
+    const std::uint64_t blocks =
+        (info.records + info.blockRefs - 1) / info.blockRefs;
+    std::cout << path << ":\n"
+              << "  format:     v3 (block-compressed)\n"
+              << "  records:    " << info.records << '\n'
+              << "  block size: " << info.blockRefs << " records ("
+              << blocks << " blocks)\n"
+              << "  packable:   "
+              << (info.packable() ? "yes" : "no") << '\n'
+              << "  digest:     " << info.digest << '\n';
+    return 0;
+}
+
+int
+cmdDrain(const std::string &path, std::uint64_t stream_mb)
+{
+    trace::StreamOptions options;
+    if (stream_mb)
+        options.memoryBudgetBytes =
+            static_cast<std::size_t>(stream_mb) << 20;
+    trace::StreamSource src(path, options);
+    constexpr std::size_t kBatch = 1u << 14;
+    std::vector<std::uint32_t> packed(kBatch);
+    std::vector<trace::MemRef> refs(kBatch);
+    std::uint64_t n = 0;
+    const auto start = std::chrono::steady_clock::now();
+    if (src.packedCapable()) {
+        for (;;) {
+            const std::size_t got =
+                src.nextBatchPacked(packed.data(), kBatch);
+            n += got;
+            if (got < kBatch)
+                break;
+        }
+    } else {
+        for (;;) {
+            const std::size_t got =
+                src.nextBatch(refs.data(), kBatch);
+            n += got;
+            if (got < kBatch)
+                break;
+        }
+    }
+    const double secs = secondsSince(start);
+    std::cout << "drained " << n << " records ("
+              << (src.packedCapable() ? "packed" : "unpacked")
+              << " path, " << src.slotCount() << " slots, "
+              << src.bufferBytes() << " buffer bytes)\n"
+              << "refs_per_second: "
+              << (secs > 0.0 ? static_cast<std::uint64_t>(
+                                   static_cast<double>(n) / secs)
+                             : 0)
+              << '\n'
+              << "peak_rss_kb: " << peakRssKb() << '\n';
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    const std::string cmd = argv[1];
+
+    // Positional args first, then options.
+    std::vector<std::string> pos;
+    std::uint64_t blockRefs = 0;
+    std::uint64_t bench = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t streamMb = 0;
+    std::string against;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (++i >= argc) {
+                std::cerr << "tracepack: missing value for " << arg
+                          << '\n';
+                std::exit(2);
+            }
+            return argv[i];
+        };
+        if (arg == "--block-refs")
+            blockRefs = numValue(arg, next());
+        else if (arg == "--bench")
+            bench = numValue(arg, next());
+        else if (arg == "--instructions")
+            instructions = numValue(arg, next());
+        else if (arg == "--seed")
+            seed = numValue(arg, next());
+        else if (arg == "--stream-mb")
+            streamMb = numValue(arg, next());
+        else if (arg == "--against")
+            against = next();
+        else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "tracepack: unknown option " << arg << '\n';
+            usage();
+        } else
+            pos.push_back(arg);
+    }
+    if (blockRefs > trace::kV3MaxBlockRefs) {
+        std::cerr << "tracepack: --block-refs " << blockRefs
+                  << " exceeds the format maximum "
+                  << trace::kV3MaxBlockRefs << '\n';
+        return 2;
+    }
+    const auto block = blockRefs
+                           ? static_cast<std::uint32_t>(blockRefs)
+                           : trace::kV3DefaultBlockRefs;
+
+    try {
+        if (cmd == "pack" && pos.size() == 2)
+            return cmdPack(pos[0], pos[1], block);
+        if (cmd == "unpack" && pos.size() == 2)
+            return cmdUnpack(pos[0], pos[1]);
+        if (cmd == "synth" && pos.size() == 1)
+            return cmdSynth(pos[0], bench, instructions, seed,
+                            block);
+        if (cmd == "verify" && pos.size() == 1)
+            return cmdVerify(pos[0], against);
+        if (cmd == "info" && pos.size() == 1)
+            return cmdInfo(pos[0]);
+        if (cmd == "drain" && pos.size() == 1)
+            return cmdDrain(pos[0], streamMb);
+    } catch (const FatalError &err) {
+        std::cerr << "tracepack: " << err.what() << '\n';
+        return 1;
+    }
+    usage();
+}
